@@ -1,0 +1,103 @@
+//! Criterion benches for the learned components: encoder embedding, node
+//! clustering, GNN forward, and a full training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moss::{CircuitSample, MossConfig, MossModel, MossVariant, SampleOptions};
+use moss_llm::{EncoderConfig, TextEncoder};
+use moss_netlist::CellLibrary;
+use moss_tensor::{Adam, Graph, ParamStore};
+
+struct Fixture {
+    model: MossModel,
+    store: ParamStore,
+    prep: moss::Prepared,
+}
+
+fn fixture(module: moss_rtl::Module) -> Fixture {
+    let lib = CellLibrary::default();
+    let sample = CircuitSample::build(
+        &module,
+        &lib,
+        &SampleOptions {
+            sim_cycles: 256,
+            ..SampleOptions::default()
+        },
+    )
+    .expect("builds");
+    let mut store = ParamStore::new();
+    let encoder = TextEncoder::new(EncoderConfig::tiny(), &mut store, 1);
+    let model = MossModel::new(MossConfig::small(16, MossVariant::Full), &mut store, 2);
+    let prep = model
+        .prepare(&sample, &encoder, &store, &lib, 500.0)
+        .expect("prepares");
+    Fixture { model, store, prep }
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let encoder = TextEncoder::new(EncoderConfig::small(), &mut store, 1);
+    c.bench_function("llm_embed_register_prompt", |b| {
+        b.iter(|| {
+            encoder.embed_text(
+                &store,
+                "register acc is a 24 bit state element updated every clock cycle \
+                 with acc + prod ; it depends on input a and input b",
+            )
+        });
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let m = moss_datagen::signed_mac(10, 12);
+    let synth = moss_synth::synthesize(&m, &moss_synth::SynthOptions::default()).unwrap();
+    let n = synth.netlist.node_count();
+    let embs: Vec<Vec<f32>> = (0..n)
+        .map(|i| vec![(i % 13) as f32 / 13.0, (i % 7) as f32 / 7.0])
+        .collect();
+    let st: Vec<(f32, f32)> = (0..n).map(|i| ((i % 3) as f32, (i % 5) as f32)).collect();
+    c.bench_function("dbscan_hierarchical_1348_cells", |b| {
+        b.iter(|| moss_gnn::cluster_nodes(&embs, &st, &moss_gnn::ClusterConfig::default()));
+    });
+}
+
+fn bench_gnn_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnn_forward");
+    group.sample_size(10);
+    for m in [moss_datagen::max_selector(5, 8), moss_datagen::signed_mac(10, 12)] {
+        let fx = fixture(m);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(fx.prep.name.clone()),
+            &fx,
+            |b, fx| b.iter(|| fx.model.predict(&fx.store, &fx.prep)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    let fx = fixture(moss_datagen::max_selector(5, 8));
+    let mut store = fx.store.clone();
+    let mut opt = Adam::new(1e-3);
+    group.bench_function("max_selector_forward_backward_step", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let l = fx.model.local_losses(&mut g, &store, &fx.prep);
+            let s1 = g.add(l.toggle, l.arrival);
+            let total = g.add(s1, l.power);
+            let grads = g.backward(total);
+            opt.step(&mut store, &grads);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encoder,
+    bench_clustering,
+    bench_gnn_forward,
+    bench_train_step
+);
+criterion_main!(benches);

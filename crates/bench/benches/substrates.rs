@@ -1,0 +1,78 @@
+//! Criterion benches for the EDA substrates: synthesis, simulation, static
+//! timing analysis, power estimation, and AIG lowering throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moss_netlist::CellLibrary;
+use moss_sim::GateSim;
+use moss_synth::{lower_to_aig, synthesize, SynthOptions};
+use moss_timing::TimingReport;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for m in [
+        moss_datagen::max_selector(5, 8),
+        moss_datagen::signed_mac(10, 12),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| synthesize(m, &SynthOptions::default()).expect("synthesizes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_1k_cycles");
+    group.sample_size(10);
+    for m in [
+        moss_datagen::prbs_generator(6, 16),
+        moss_datagen::wb_data_mux(32, 38),
+    ] {
+        let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{}c", m.name(), synth.netlist.cell_count())),
+            &synth.netlist,
+            |b, nl| {
+                b.iter(|| {
+                    let mut sim = GateSim::new(nl).expect("valid");
+                    moss_sim::simulate_random(&mut sim, 1_000, 7)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_timing_analysis");
+    let lib = CellLibrary::default();
+    for m in [moss_datagen::signed_mac(10, 12), moss_datagen::mult_16x32_to_48()] {
+        let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{}c", m.name(), synth.netlist.cell_count())),
+            &synth.netlist,
+            |b, nl| b.iter(|| TimingReport::analyze(nl, &lib).expect("analyzes")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_aig_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aig_lowering");
+    group.sample_size(10);
+    let m = moss_datagen::signed_mac(10, 12);
+    let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
+    group.bench_function("signed_mac", |b| {
+        b.iter(|| lower_to_aig(&synth.netlist).expect("lowers"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthesis,
+    bench_simulation,
+    bench_sta,
+    bench_aig_lowering
+);
+criterion_main!(benches);

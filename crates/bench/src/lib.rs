@@ -1,0 +1,22 @@
+//! # moss-bench
+//!
+//! Experiment harness for the MOSS reproduction: shared pipeline helpers
+//! used by the table/figure regeneration binaries and the Criterion
+//! benches. See `DESIGN.md` §4 for the experiment index.
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+
+use pipeline::ExperimentConfig;
+
+/// Parses `--tiny` / `--quick` / `--full` from the process arguments
+/// (default: quick).
+pub fn config_from_args() -> ExperimentConfig {
+    let mode = std::env::args().find(|a| a.starts_with("--"));
+    match mode.as_deref() {
+        Some("--tiny") => ExperimentConfig::tiny(),
+        Some("--full") => ExperimentConfig::full(),
+        _ => ExperimentConfig::quick(),
+    }
+}

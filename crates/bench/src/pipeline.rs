@@ -1,0 +1,416 @@
+//! Shared experiment pipeline: build the world (library + fine-tuned
+//! encoder), prepare circuit samples, train model variants, and score them
+//! with the paper's metrics. Used by every table/figure regeneration binary
+//! and by the Criterion benches.
+
+use moss::{
+    metrics, AlignEpoch, CircuitSample, DeepSeq2, DeepSeq2Config, MossConfig, MossModel,
+    MossVariant, Predictions, Prepared, PretrainEpoch, SampleOptions, TrainConfig, Trainer,
+};
+use moss_llm::{EncoderConfig, FineTuneConfig, FineTuner, TextEncoder};
+use moss_netlist::CellLibrary;
+use moss_rtl::Module;
+use moss_tensor::ParamStore;
+
+/// Experiment-scale configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Random-stimulus cycles for ground truth.
+    pub sim_cycles: u64,
+    /// Clock for power labels, MHz.
+    pub clock_mhz: f64,
+    /// Encoder architecture.
+    pub encoder: EncoderConfig,
+    /// LLM fine-tuning epochs on the RTL corpus.
+    pub finetune_epochs: usize,
+    /// Random designs in the fine-tuning corpus.
+    pub corpus_size: usize,
+    /// GNN hidden width.
+    pub d_hidden: usize,
+    /// Two-phase propagation rounds.
+    pub iterations: usize,
+    /// Training schedule.
+    pub train: TrainConfig,
+    /// Global seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Minutes-scale settings used by the shipped experiment binaries.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            sim_cycles: 2_048,
+            clock_mhz: 500.0,
+            encoder: EncoderConfig::small(),
+            finetune_epochs: 4,
+            corpus_size: 18,
+            d_hidden: 16,
+            iterations: 4,
+            train: TrainConfig {
+                pretrain_epochs: 30,
+                align_epochs: 20,
+                align_batch: 4,
+                learning_rate: 2e-3,
+                seed: 0x7ea1,
+            },
+            seed: 0x5e4d,
+        }
+    }
+
+    /// Paper-faithful settings (45 epochs, 60k simulation cycles); hours on
+    /// CPU.
+    pub fn full() -> ExperimentConfig {
+        ExperimentConfig {
+            sim_cycles: 60_000,
+            finetune_epochs: 10,
+            corpus_size: 64,
+            train: TrainConfig {
+                pretrain_epochs: 45,
+                align_epochs: 45,
+                align_batch: 4,
+                learning_rate: 6e-4,
+                seed: 0x7ea1,
+            },
+            ..ExperimentConfig::quick()
+        }
+    }
+
+    /// Seconds-scale settings for integration tests.
+    pub fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            sim_cycles: 256,
+            encoder: EncoderConfig::tiny(),
+            finetune_epochs: 1,
+            corpus_size: 4,
+            d_hidden: 8,
+            iterations: 2,
+            train: TrainConfig {
+                pretrain_epochs: 4,
+                align_epochs: 4,
+                align_batch: 3,
+                learning_rate: 3e-3,
+                seed: 0x7ea1,
+            },
+            ..ExperimentConfig::quick()
+        }
+    }
+}
+
+/// The shared experiment world: cell library and a fine-tuned text encoder.
+#[derive(Debug)]
+pub struct World {
+    /// The standard-cell library.
+    pub lib: CellLibrary,
+    /// Parameter store holding the fine-tuned encoder.
+    pub store: ParamStore,
+    /// The fine-tuned encoder.
+    pub encoder: TextEncoder,
+    /// The configuration used.
+    pub config: ExperimentConfig,
+}
+
+/// Builds the world: creates the encoder and fine-tunes it on register/DFF
+/// and RTL/summary pairs from a random corpus (the paper's §IV-A step).
+pub fn build_world(config: ExperimentConfig) -> World {
+    let mut store = ParamStore::new();
+    let encoder = TextEncoder::new(config.encoder, &mut store, config.seed);
+    let corpus = moss_datagen::random_corpus(config.seed ^ 0xc0ffee, config.corpus_size);
+    let pairs = moss_datagen::finetune_pairs(&corpus);
+    let mut tuner = FineTuner::new(
+        FineTuneConfig {
+            learning_rate: 1e-3,
+            ..FineTuneConfig::default()
+        },
+        config.seed ^ 0xf1e,
+    );
+    for _ in 0..config.finetune_epochs {
+        tuner.train_epoch(&encoder, &mut store, &pairs);
+    }
+    World {
+        lib: CellLibrary::default(),
+        store,
+        encoder,
+        config,
+    }
+}
+
+/// Builds ground-truth samples with a specific synthesis mapping variant,
+/// enabling train-on-one-mapping / evaluate-on-another protocols (the
+/// paper generates several distinct circuits per RTL, §V-A).
+pub fn build_samples_variant(
+    world: &World,
+    modules: &[Module],
+    synth_seed: u64,
+) -> Vec<CircuitSample> {
+    modules
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            CircuitSample::build(
+                m,
+                &world.lib,
+                &SampleOptions {
+                    synth: moss_synth::SynthOptions::variant(synth_seed),
+                    sim_cycles: world.config.sim_cycles,
+                    seed: world.config.seed ^ ((i as u64) << 8) ^ (synth_seed << 40),
+                    clock_mhz: world.config.clock_mhz,
+                },
+            )
+            .expect("benchmark modules synthesize")
+        })
+        .collect()
+}
+
+/// Prepares additional (e.g. held-out) samples for an already-trained
+/// variant run.
+pub fn prepare_for(world: &World, run: &VariantRun, samples: &[CircuitSample]) -> Vec<Prepared> {
+    samples
+        .iter()
+        .map(|s| {
+            run.model
+                .prepare(
+                    s,
+                    &world.encoder,
+                    &run.feature_store,
+                    &world.lib,
+                    world.config.clock_mhz,
+                )
+                .expect("samples prepare")
+        })
+        .collect()
+}
+
+/// Prepares held-out samples for a trained baseline.
+pub fn prepare_for_baseline(
+    world: &World,
+    run: &BaselineRun,
+    samples: &[CircuitSample],
+) -> Vec<Prepared> {
+    samples
+        .iter()
+        .map(|s| {
+            run.model
+                .prepare(s, &world.encoder, &run.store, &world.lib, world.config.clock_mhz)
+                .expect("samples prepare")
+        })
+        .collect()
+}
+
+/// Scores a trained variant on arbitrary prepared circuits.
+pub fn evaluate_variant_on(run: &VariantRun, preps: &[Prepared]) -> Vec<CircuitScores> {
+    preps
+        .iter()
+        .map(|p| score(&run.model.predict(&run.store, p), p))
+        .collect()
+}
+
+/// Scores a trained baseline on arbitrary prepared circuits.
+pub fn evaluate_baseline_on(run: &BaselineRun, preps: &[Prepared]) -> Vec<CircuitScores> {
+    preps
+        .iter()
+        .map(|p| score(&run.model.predict(&run.store, p), p))
+        .collect()
+}
+
+/// Builds ground-truth samples for a set of modules.
+pub fn build_samples(world: &World, modules: &[Module]) -> Vec<CircuitSample> {
+    modules
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            CircuitSample::build(
+                m,
+                &world.lib,
+                &SampleOptions {
+                    sim_cycles: world.config.sim_cycles,
+                    seed: world.config.seed ^ ((i as u64) << 8),
+                    clock_mhz: world.config.clock_mhz,
+                    ..SampleOptions::default()
+                },
+            )
+            .expect("benchmark modules synthesize")
+        })
+        .collect()
+}
+
+/// A trained MOSS variant with everything needed for evaluation.
+#[derive(Debug)]
+pub struct VariantRun {
+    /// The trained model.
+    pub model: MossModel,
+    /// Its parameters (cloned world store + model params).
+    pub store: ParamStore,
+    /// Snapshot taken before the alignment phase. Node features for *new*
+    /// circuits must be built with this encoder state: alignment tunes the
+    /// text-side LoRA adapters, and features embedded with the tuned
+    /// encoder would be distribution-shifted relative to what the (frozen)
+    /// GNN trunk trained on.
+    pub feature_store: ParamStore,
+    /// Prepared circuits, aligned with the input samples.
+    pub preps: Vec<Prepared>,
+    /// Pre-training loss curves (Fig. 7).
+    pub pretrain: Vec<PretrainEpoch>,
+    /// Alignment loss curves (Fig. 8; empty when alignment is off).
+    pub align: Vec<AlignEpoch>,
+}
+
+/// Trains one MOSS variant on `samples`.
+pub fn train_variant(
+    world: &World,
+    variant: MossVariant,
+    samples: &[CircuitSample],
+) -> VariantRun {
+    let mut store = world.store.clone();
+    let model = MossModel::new(
+        MossConfig {
+            d_hidden: world.config.d_hidden,
+            iterations: world.config.iterations,
+            ..MossConfig::small(world.config.encoder.d_model, variant)
+        },
+        &mut store,
+        world.config.seed ^ 0x90de1,
+    );
+    let preps: Vec<Prepared> = samples
+        .iter()
+        .map(|s| {
+            model
+                .prepare(s, &world.encoder, &store, &world.lib, world.config.clock_mhz)
+                .expect("samples prepare")
+        })
+        .collect();
+    let mut trainer = Trainer::new(world.config.train);
+    let pretrain = trainer.pretrain(&model, &mut store, &preps);
+    let feature_store = store.clone();
+    // Alignment trains only the projection heads and text-side LoRA; the
+    // GNN trunk (and therefore the regression heads) is untouched.
+    let align = trainer.align(&model, &world.encoder, &mut store, &preps);
+    VariantRun {
+        model,
+        store,
+        feature_store,
+        preps,
+        pretrain,
+        align,
+    }
+}
+
+/// A trained DeepSeq2 baseline.
+#[derive(Debug)]
+pub struct BaselineRun {
+    /// The trained baseline.
+    pub model: DeepSeq2,
+    /// Its parameters.
+    pub store: ParamStore,
+    /// Prepared circuits.
+    pub preps: Vec<Prepared>,
+    /// Training loss curves.
+    pub pretrain: Vec<PretrainEpoch>,
+}
+
+/// Trains the DeepSeq2 baseline on `samples`.
+pub fn train_baseline(world: &World, samples: &[CircuitSample]) -> BaselineRun {
+    let mut store = world.store.clone();
+    let model = DeepSeq2::new(
+        DeepSeq2Config {
+            iterations: world.config.iterations,
+            ..DeepSeq2Config::small(world.config.encoder.d_model)
+        },
+        &mut store,
+        world.config.seed ^ 0xba5e,
+    );
+    let preps: Vec<Prepared> = samples
+        .iter()
+        .map(|s| {
+            model
+                .prepare(s, &world.encoder, &store, &world.lib, world.config.clock_mhz)
+                .expect("samples prepare")
+        })
+        .collect();
+    let mut trainer = Trainer::new(world.config.train);
+    let pretrain = trainer.train_deepseq2(&model, &mut store, &preps);
+    BaselineRun {
+        model,
+        store,
+        preps,
+        pretrain,
+    }
+}
+
+/// Per-circuit Table I scores (percentages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitScores {
+    /// Circuit name.
+    pub name: String,
+    /// Arrival-time prediction accuracy, %.
+    pub atp: f64,
+    /// Toggle-rate prediction accuracy, %.
+    pub trp: f64,
+    /// Power prediction accuracy, %.
+    pub pp: f64,
+}
+
+/// Scores a set of predictions against prepared ground truth.
+pub fn score(pred: &Predictions, prep: &Prepared) -> CircuitScores {
+    CircuitScores {
+        name: prep.name.clone(),
+        atp: metrics::atp_accuracy(pred, prep) * 100.0,
+        trp: metrics::trp_accuracy(pred, prep) * 100.0,
+        pp: metrics::pp_accuracy(pred, prep) * 100.0,
+    }
+}
+
+/// Evaluates a trained MOSS variant on all its prepared circuits.
+pub fn evaluate_variant(run: &VariantRun) -> Vec<CircuitScores> {
+    run.preps
+        .iter()
+        .map(|p| score(&run.model.predict(&run.store, p), p))
+        .collect()
+}
+
+/// Evaluates a trained baseline on all its prepared circuits.
+pub fn evaluate_baseline(run: &BaselineRun) -> Vec<CircuitScores> {
+    run.preps
+        .iter()
+        .map(|p| score(&run.model.predict(&run.store, p), p))
+        .collect()
+}
+
+/// Column averages for a score table.
+pub fn averages(scores: &[CircuitScores]) -> (f64, f64, f64) {
+    let n = scores.len().max(1) as f64;
+    (
+        scores.iter().map(|s| s.atp).sum::<f64>() / n,
+        scores.iter().map(|s| s.trp).sum::<f64>() / n,
+        scores.iter().map(|s| s.pp).sum::<f64>() / n,
+    )
+}
+
+/// FEP retrieval accuracy of a trained variant on a group of prepared
+/// circuits (paper Table II protocol).
+pub fn fep_of(world: &World, run: &VariantRun, preps: &[Prepared]) -> f64 {
+    let rtl: Vec<Vec<f32>> = preps
+        .iter()
+        .map(|p| run.model.rtl_align_vec(&run.store, &world.encoder, p))
+        .collect();
+    let net: Vec<Vec<f32>> = preps
+        .iter()
+        .map(|p| run.model.predict(&run.store, p).netlist_align)
+        .collect();
+    metrics::fep_accuracy(&rtl, &net) * 100.0
+}
+
+/// Prints a quick cell-count census of the benchmark suite.
+pub fn suite_census() -> Vec<(String, usize, usize)> {
+    moss_datagen::benchmark_suite()
+        .iter()
+        .map(|m| {
+            let r = moss_synth::synthesize(m, &moss_synth::SynthOptions::default())
+                .expect("benchmarks synthesize");
+            (
+                m.name().to_owned(),
+                r.netlist.cell_count(),
+                r.netlist.dff_count(),
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,196 @@
+//! Model checkpointing: persist a trained MOSS pipeline (configuration +
+//! every parameter, encoder included) and restore it bit-exactly.
+//!
+//! The parameter payload reuses `moss-tensor`'s binary format; a small
+//! fixed-layout header carries the [`MossConfig`] so a restored model is
+//! reconstructed with the same architecture and variant.
+
+use std::io::{self, Read, Write};
+
+use moss_tensor::{load_params, save_params, ParamStore};
+
+use crate::model::{MossConfig, MossVariant};
+
+const MAGIC: &[u8; 8] = b"MOSSCKP1";
+
+/// Writes a checkpoint of `config` + `store` to `writer`.
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+///
+/// # Examples
+///
+/// ```
+/// use moss::{save_checkpoint, load_checkpoint, MossConfig, MossModel, MossVariant};
+/// use moss_tensor::ParamStore;
+///
+/// let mut store = ParamStore::new();
+/// let config = MossConfig::small(16, MossVariant::Full);
+/// let _model = MossModel::new(config, &mut store, 7);
+///
+/// let mut buf = Vec::new();
+/// save_checkpoint(&mut buf, &config, &store)?;
+/// let (restored_config, restored_store) = load_checkpoint(buf.as_slice())?;
+/// assert_eq!(restored_config, config);
+/// assert_eq!(restored_store.len(), store.len());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn save_checkpoint<W: Write>(
+    mut writer: W,
+    config: &MossConfig,
+    store: &ParamStore,
+) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    for v in [
+        config.d_llm as u64,
+        config.d_hidden as u64,
+        config.iterations as u64,
+        config.aggregators as u64,
+        config.d_align as u64,
+        variant_tag(config.variant),
+        config.two_phase as u64,
+    ] {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    writer.write_all(&config.cluster_eps.to_le_bytes())?;
+    save_params(writer, store)
+}
+
+/// Reads a checkpoint written by [`save_checkpoint`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic, unknown variant tag, or corrupted
+/// payload.
+pub fn load_checkpoint<R: Read>(mut reader: R) -> io::Result<(MossConfig, ParamStore)> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a moss checkpoint",
+        ));
+    }
+    let mut fields = [0u64; 7];
+    for f in &mut fields {
+        let mut b = [0u8; 8];
+        reader.read_exact(&mut b)?;
+        *f = u64::from_le_bytes(b);
+    }
+    let mut eps = [0u8; 4];
+    reader.read_exact(&mut eps)?;
+    let config = MossConfig {
+        d_llm: fields[0] as usize,
+        d_hidden: fields[1] as usize,
+        iterations: fields[2] as usize,
+        aggregators: fields[3] as usize,
+        d_align: fields[4] as usize,
+        variant: variant_from_tag(fields[5])?,
+        two_phase: fields[6] != 0,
+        cluster_eps: f32::from_le_bytes(eps),
+    };
+    let store = load_params(reader)?;
+    Ok((config, store))
+}
+
+fn variant_tag(v: MossVariant) -> u64 {
+    match v {
+        MossVariant::WithoutFeatureEnhancement => 0,
+        MossVariant::WithoutAdaptiveAggregator => 1,
+        MossVariant::WithoutAlignment => 2,
+        MossVariant::Full => 3,
+    }
+}
+
+fn variant_from_tag(tag: u64) -> io::Result<MossVariant> {
+    Ok(match tag {
+        0 => MossVariant::WithoutFeatureEnhancement,
+        1 => MossVariant::WithoutAdaptiveAggregator,
+        2 => MossVariant::WithoutAlignment,
+        3 => MossVariant::Full,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unknown variant tag",
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MossModel;
+    use crate::sample::{CircuitSample, SampleOptions};
+    use moss_llm::{EncoderConfig, TextEncoder};
+    use moss_netlist::CellLibrary;
+
+    #[test]
+    fn round_trip_preserves_config_and_params() {
+        let mut store = ParamStore::new();
+        let config = MossConfig {
+            iterations: 3,
+            two_phase: false,
+            ..MossConfig::small(16, MossVariant::WithoutAlignment)
+        };
+        let _enc = TextEncoder::new(EncoderConfig::tiny(), &mut store, 1);
+        let _model = MossModel::new(config, &mut store, 2);
+
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &config, &store).unwrap();
+        let (rc, rs) = load_checkpoint(buf.as_slice()).unwrap();
+        assert_eq!(rc, config);
+        assert_eq!(rs.scalar_count(), store.scalar_count());
+    }
+
+    #[test]
+    fn restored_model_predicts_identically() {
+        let m = moss_rtl::parse(
+            "module t(input clk, input d, output q);
+               reg r0; always @(posedge clk) r0 <= d ^ r0; assign q = r0;
+             endmodule",
+        )
+        .unwrap();
+        let lib = CellLibrary::default();
+        let sample = CircuitSample::build(
+            &m,
+            &lib,
+            &SampleOptions {
+                sim_cycles: 64,
+                ..SampleOptions::default()
+            },
+        )
+        .unwrap();
+        let mut store = ParamStore::new();
+        let config = MossConfig::small(16, MossVariant::Full);
+        let enc = TextEncoder::new(EncoderConfig::tiny(), &mut store, 1);
+        let model = MossModel::new(config, &mut store, 2);
+        let prep = model.prepare(&sample, &enc, &store, &lib, 500.0).unwrap();
+        let before = model.predict(&store, &prep);
+
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &config, &store).unwrap();
+        let (rc, mut rs) = load_checkpoint(buf.as_slice()).unwrap();
+        // Rebuilding against a restored store binds to the existing
+        // parameters by name (get_or_add), so the trained values survive
+        // and the seed is irrelevant.
+        let restored = MossModel::new(rc, &mut rs, 0xdead);
+        let after = restored.predict(&rs, &prep);
+        assert_eq!(before.toggle, after.toggle);
+        assert_eq!(before.arrival_ns, after.arrival_ns);
+        assert_eq!(before.power_nw, after.power_nw);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        assert!(load_checkpoint(&b"BADMAGIC"[..]).is_err());
+        let mut store = ParamStore::new();
+        let config = MossConfig::small(8, MossVariant::Full);
+        let _ = MossModel::new(config, &mut store, 1);
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &config, &store).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_checkpoint(buf.as_slice()).is_err());
+    }
+}

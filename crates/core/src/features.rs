@@ -1,0 +1,280 @@
+//! LLM-enhanced node feature construction (paper Fig. 2A / Fig. 4a).
+//!
+//! Every node gets structural features (one-hot cell class, fan-in/fan-out,
+//! level, role flags) concatenated with the LLM embedding of its cell
+//! datasheet description. DFF "anchor points" additionally get the LLM
+//! embedding of their register-description prompt *overlaid* (added) onto
+//! the cell-description slot, exactly as §IV-B describes.
+
+use std::collections::HashMap;
+
+use moss_llm::TextEncoder;
+use moss_netlist::{CellKind, Levelization, Netlist, NodeKind};
+use moss_rtl::RegisterDescription;
+use moss_synth::DffBinding;
+use moss_tensor::{ParamStore, Tensor};
+
+/// Width of the structural feature block.
+pub const STRUCT_DIM: usize = CellKind::ALL.len() + 8;
+
+/// Assembled node features plus the raw pieces other stages need.
+#[derive(Debug, Clone)]
+pub struct NodeFeatures {
+    /// Feature matrix, `node_count × (STRUCT_DIM + d_llm)`.
+    pub matrix: Tensor,
+    /// The LLM slice per node (used for adaptive-aggregator clustering).
+    pub llm_vectors: Vec<Vec<f32>>,
+    /// `(fan_in, fan_out)` per node (clustering's structural signal).
+    pub structure_pairs: Vec<(f32, f32)>,
+    /// LLM embedding width used.
+    pub d_llm: usize,
+}
+
+/// Feature construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureOptions {
+    /// Include LLM embeddings (the "F" in the w/o FAA ablation). When
+    /// disabled the LLM slots are zero and clustering sees only one-hot
+    /// cell classes.
+    pub llm_enhancement: bool,
+}
+
+impl Default for FeatureOptions {
+    fn default() -> Self {
+        FeatureOptions {
+            llm_enhancement: true,
+        }
+    }
+}
+
+/// Builds node features for a synthesized netlist.
+///
+/// `register_descs` are the RTL register prompts (from
+/// [`moss_rtl::describe_registers`]) and `bindings` map DFFs to register
+/// bits (from synthesis); both come from the same design.
+///
+/// # Errors
+///
+/// Returns an error if the netlist cannot be levelized.
+pub fn build_node_features(
+    netlist: &Netlist,
+    encoder: &TextEncoder,
+    store: &ParamStore,
+    register_descs: &[RegisterDescription],
+    bindings: &[DffBinding],
+    options: &FeatureOptions,
+) -> Result<NodeFeatures, moss_netlist::NetlistError> {
+    let levels = Levelization::of(netlist)?;
+    let n = netlist.node_count();
+    let d_llm = encoder.config().d_model;
+    let max_level = levels.max_level().max(1) as f32;
+
+    // Cache cell-description embeddings per kind (the expensive part).
+    let mut kind_emb: HashMap<CellKind, Vec<f32>> = HashMap::new();
+    if options.llm_enhancement {
+        for kind in CellKind::ALL {
+            let e = encoder.embed_text(store, kind.description());
+            kind_emb.insert(kind, e.data().to_vec());
+        }
+    }
+    // Register-prompt embeddings per register name.
+    let mut reg_emb: HashMap<&str, Vec<f32>> = HashMap::new();
+    if options.llm_enhancement {
+        for rd in register_descs {
+            let e = encoder.embed_text(store, &rd.prompt);
+            reg_emb.insert(rd.name.as_str(), e.data().to_vec());
+        }
+    }
+    let dff_to_reg: HashMap<usize, &str> = bindings
+        .iter()
+        .map(|b| (b.dff.index(), b.register_name.as_str()))
+        .collect();
+
+    let mut matrix = Tensor::zeros(n, STRUCT_DIM + d_llm);
+    let mut llm_vectors = Vec::with_capacity(n);
+    let mut structure_pairs = Vec::with_capacity(n);
+    for id in netlist.node_ids() {
+        let i = id.index();
+        let fan_in = netlist.fanins(id).len() as f32;
+        let fan_out = netlist.fanouts(id).len() as f32;
+        structure_pairs.push((fan_in, fan_out));
+
+        // Structural block.
+        match netlist.kind(id) {
+            NodeKind::Cell(kind) => matrix.set(i, kind.index(), 1.0),
+            NodeKind::PrimaryInput => matrix.set(i, CellKind::ALL.len(), 0.0),
+            NodeKind::PrimaryOutput => {}
+        }
+        let base = CellKind::ALL.len();
+        matrix.set(i, base, (fan_in / 3.0).min(2.0));
+        matrix.set(i, base + 1, (fan_out / 8.0).min(2.0));
+        matrix.set(i, base + 2, levels.level(id) as f32 / max_level);
+        matrix.set(i, base + 3, netlist.kind(id).is_dff() as u8 as f32);
+        matrix.set(
+            i,
+            base + 4,
+            (netlist.kind(id) == NodeKind::PrimaryInput) as u8 as f32,
+        );
+        matrix.set(
+            i,
+            base + 5,
+            (netlist.kind(id) == NodeKind::PrimaryOutput) as u8 as f32,
+        );
+        // Absolute depth features: arrival time scales with the raw level,
+        // not the per-circuit-normalized one, so expose both the node's own
+        // level and the design's total depth on a fixed scale.
+        matrix.set(i, base + 6, (levels.level(id) as f32 / 32.0).min(4.0));
+        matrix.set(i, base + 7, (max_level / 32.0).min(4.0));
+
+        // LLM block: cell description (+ register prompt overlay on DFFs).
+        // Each embedding is L2-normalized before use so unseen designs'
+        // register prompts cannot push DFF features outside the scale the
+        // GNN trained on.
+        let mut llm = vec![0.0f32; d_llm];
+        if options.llm_enhancement {
+            if let NodeKind::Cell(kind) = netlist.kind(id) {
+                let cell_vec = normalized(&kind_emb[&kind]);
+                for (slot, v) in llm.iter_mut().zip(cell_vec) {
+                    *slot = v;
+                }
+                if kind.is_sequential() {
+                    if let Some(reg) = dff_to_reg.get(&i) {
+                        if let Some(rv) = reg_emb.get(reg) {
+                            for (slot, v) in llm.iter_mut().zip(normalized(rv)) {
+                                *slot += v;
+                            }
+                        }
+                    }
+                }
+            }
+        } else if let NodeKind::Cell(kind) = netlist.kind(id) {
+            // Without LLM enhancement, clustering falls back to the pure
+            // one-hot class signal.
+            llm[kind.index() % d_llm] = 1.0;
+        }
+        for (j, &v) in llm.iter().enumerate() {
+            matrix.set(i, STRUCT_DIM + j, v);
+        }
+        llm_vectors.push(llm);
+    }
+
+    Ok(NodeFeatures {
+        matrix,
+        llm_vectors,
+        structure_pairs,
+        d_llm,
+    })
+}
+
+/// Unit-normalizes a vector (returns zeros for a zero vector).
+fn normalized(v: &[f32]) -> Vec<f32> {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm < 1e-12 {
+        return v.to_vec();
+    }
+    v.iter().map(|x| x / norm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moss_llm::EncoderConfig;
+
+    fn setup() -> (Netlist, TextEncoder, ParamStore, Vec<DffBinding>) {
+        let m = moss_rtl::parse(
+            "module c(input clk, output [1:0] q);
+               reg [1:0] s = 0;
+               always @(posedge clk) s <= s + 2'd1;
+               assign q = s;
+             endmodule",
+        )
+        .unwrap();
+        let synth = moss_synth::synthesize(&m, &moss_synth::SynthOptions::default()).unwrap();
+        let mut store = ParamStore::new();
+        let enc = TextEncoder::new(EncoderConfig::tiny(), &mut store, 1);
+        (synth.netlist, enc, store, synth.dffs)
+    }
+
+    #[test]
+    fn shapes_and_flags() {
+        let (nl, enc, store, bindings) = setup();
+        let m = moss_rtl::parse(
+            "module c(input clk, output [1:0] q);
+               reg [1:0] s = 0;
+               always @(posedge clk) s <= s + 2'd1;
+               assign q = s;
+             endmodule",
+        )
+        .unwrap();
+        let descs = moss_rtl::describe_registers(&m);
+        let f = build_node_features(
+            &nl,
+            &enc,
+            &store,
+            &descs,
+            &bindings,
+            &FeatureOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(f.matrix.rows(), nl.node_count());
+        assert_eq!(f.matrix.cols(), STRUCT_DIM + 16);
+        // DFF flag set exactly on DFFs.
+        for id in nl.node_ids() {
+            let flag = f.matrix.get(id.index(), CellKind::ALL.len() + 3);
+            assert_eq!(flag == 1.0, nl.kind(id).is_dff());
+        }
+    }
+
+    #[test]
+    fn dff_overlay_distinguishes_dffs_from_bare_cell_embedding() {
+        let (nl, enc, store, bindings) = setup();
+        let m = moss_rtl::parse(
+            "module c(input clk, output [1:0] q);
+               reg [1:0] s = 0;
+               always @(posedge clk) s <= s + 2'd1;
+               assign q = s;
+             endmodule",
+        )
+        .unwrap();
+        let descs = moss_rtl::describe_registers(&m);
+        let f = build_node_features(
+            &nl,
+            &enc,
+            &store,
+            &descs,
+            &bindings,
+            &FeatureOptions::default(),
+        )
+        .unwrap();
+        let dff = nl.dffs()[0];
+        let plain_dff_emb = enc.embed_text(&store, CellKind::Dff.description());
+        let stored = &f.llm_vectors[dff.index()];
+        let diff: f32 = stored
+            .iter()
+            .zip(plain_dff_emb.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4, "register prompt overlaid on the DFF slot");
+    }
+
+    #[test]
+    fn no_llm_mode_zeroes_embeddings() {
+        let (nl, enc, store, bindings) = setup();
+        let f = build_node_features(
+            &nl,
+            &enc,
+            &store,
+            &[],
+            &bindings,
+            &FeatureOptions {
+                llm_enhancement: false,
+            },
+        )
+        .unwrap();
+        // Fallback one-hot: each llm vector sums to ≤ 1.
+        for v in &f.llm_vectors {
+            let sum: f32 = v.iter().sum();
+            assert!(sum <= 1.0 + 1e-6);
+        }
+    }
+}

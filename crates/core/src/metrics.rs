@@ -1,0 +1,172 @@
+//! Evaluation metrics: `accuracy = 1 − mean relative error` (paper Eq. 3)
+//! for the regression tasks, and retrieval accuracy for functional
+//! equivalence prediction (FEP).
+
+use crate::model::{Predictions, Prepared};
+
+/// `1 − mean(|pred − true| / max(|true|, floor))`, clamped to `[0, 1]`.
+///
+/// The floor keeps near-zero targets (an idle cell's toggle rate) from
+/// blowing the relative error up, matching how commercial accuracy reports
+/// treat tiny denominators.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relative_accuracy(pred: &[f32], truth: &[f32], floor: f32) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    if pred.is_empty() {
+        return 1.0;
+    }
+    let mean_err: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| ((p - t).abs() / t.abs().max(floor)) as f64)
+        .sum::<f64>()
+        / pred.len() as f64;
+    (1.0 - mean_err).clamp(0.0, 1.0)
+}
+
+/// Arrival-time prediction accuracy (per-DFF, floor 0.05 ns).
+pub fn atp_accuracy(pred: &Predictions, prep: &Prepared) -> f64 {
+    relative_accuracy(&pred.arrival_ns, prep.arrival_target.data(), 0.05)
+}
+
+/// Toggle-rate prediction accuracy (per-cell, floor 0.05).
+pub fn trp_accuracy(pred: &Predictions, prep: &Prepared) -> f64 {
+    relative_accuracy(&pred.toggle, prep.toggle_target.data(), 0.05)
+}
+
+/// Power prediction accuracy (circuit-level).
+pub fn pp_accuracy(pred: &Predictions, prep: &Prepared) -> f64 {
+    let t = prep.true_power_nw;
+    if t <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - ((pred.power_nw - t).abs() / t)).clamp(0.0, 1.0)
+}
+
+/// Functional-equivalence prediction accuracy: top-1 retrieval.
+///
+/// For each RTL embedding, the matching netlist is predicted as the highest
+/// cosine-similarity candidate; the score is the fraction of correct
+/// matches (paper Table II: "the rate of correctly identifying functionally
+/// equivalent RTL-netlist pairs").
+///
+/// # Panics
+///
+/// Panics if the two sets have different sizes.
+pub fn fep_accuracy(rtl_embs: &[Vec<f32>], netlist_embs: &[Vec<f32>]) -> f64 {
+    assert_eq!(rtl_embs.len(), netlist_embs.len(), "paired sets");
+    let n = rtl_embs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    // Center each modality within the evaluation group, mirroring the
+    // batch-centering the alignment losses train with (and standard
+    // gallery-mean centering in retrieval).
+    let rtl_embs = center(rtl_embs);
+    let netlist_embs = center(netlist_embs);
+    let mut correct = 0usize;
+    for (i, r) in rtl_embs.iter().enumerate() {
+        let best = netlist_embs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                cosine(r, a)
+                    .partial_cmp(&cosine(r, b))
+                    .expect("finite cosine")
+            })
+            .map(|(j, _)| j)
+            .expect("nonempty");
+        if best == i {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+fn center(embs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let n = embs.len().max(1) as f32;
+    let d = embs.first().map_or(0, Vec::len);
+    let mut mean = vec![0.0f32; d];
+    for e in embs {
+        for (m, &v) in mean.iter_mut().zip(e) {
+            *m += v / n;
+        }
+    }
+    embs.iter()
+        .map(|e| e.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+        .collect()
+}
+
+/// Cosine similarity of two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    dot / (na * nb).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let t = [0.5f32, 0.2, 0.9];
+        assert_eq!(relative_accuracy(&t, &t, 0.05), 1.0);
+    }
+
+    #[test]
+    fn accuracy_decreases_with_error() {
+        let truth = [1.0f32, 1.0];
+        let close = [0.9f32, 1.1];
+        let far = [0.5f32, 1.5];
+        let a_close = relative_accuracy(&close, &truth, 0.05);
+        let a_far = relative_accuracy(&far, &truth, 0.05);
+        assert!(a_close > a_far);
+        assert!((a_close - 0.9).abs() < 1e-6);
+        assert!((a_far - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floor_guards_zero_targets() {
+        let truth = [0.0f32];
+        let pred = [0.01f32];
+        let a = relative_accuracy(&pred, &truth, 0.05);
+        assert!(a > 0.7, "small absolute error on zero target: {a}");
+    }
+
+    #[test]
+    fn accuracy_clamped_to_unit_interval() {
+        let truth = [0.1f32];
+        let pred = [10.0f32];
+        assert_eq!(relative_accuracy(&pred, &truth, 0.05), 0.0);
+    }
+
+    #[test]
+    fn fep_identity_embeddings_score_one() {
+        let embs: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..4).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        assert_eq!(fep_accuracy(&embs, &embs), 1.0);
+    }
+
+    #[test]
+    fn fep_shuffled_embeddings_score_low() {
+        let rtl: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..4).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let mut net = rtl.clone();
+        net.rotate_left(1);
+        assert_eq!(fep_accuracy(&rtl, &net), 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,439 @@
+//! Multi-task training with dynamic loss balancing (paper Eq. 2) in two
+//! phases: pre-training on the local tasks (Fig. 7) and multimodal
+//! alignment (Fig. 8).
+
+use moss_tensor::{Adam, Graph, ParamStore, Var};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::deepseq2::DeepSeq2;
+use crate::model::{MossModel, Prepared};
+use moss_llm::TextEncoder;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Learning rate (paper: 6e-4).
+    pub learning_rate: f32,
+    /// Pre-training epochs (paper: 45 with early stopping).
+    pub pretrain_epochs: usize,
+    /// Alignment epochs.
+    pub align_epochs: usize,
+    /// Circuits per alignment batch (RNC needs ≥ 2).
+    pub align_batch: usize,
+    /// RNG seed (shuffling).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 6e-4,
+            pretrain_epochs: 45,
+            align_epochs: 45,
+            align_batch: 4,
+            seed: 0x7ea1,
+        }
+    }
+}
+
+/// Loss values from one pre-training epoch (Fig. 7 curves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PretrainEpoch {
+    /// Weighted total.
+    pub total: f64,
+    /// Probability loss (Fig. 7b).
+    pub probability: f64,
+    /// Toggle loss (Fig. 7c).
+    pub toggle: f64,
+    /// Arrival-time loss (Fig. 7d).
+    pub arrival: f64,
+    /// Power loss.
+    pub power: f64,
+}
+
+/// Loss values from one alignment epoch (Fig. 8 curves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignEpoch {
+    /// Weighted total (Fig. 8a).
+    pub total: f64,
+    /// RNC loss (Fig. 8b).
+    pub rnc: f64,
+    /// RNM loss (Fig. 8c).
+    pub rnm: f64,
+    /// RrNdM loss.
+    pub rrndm: f64,
+}
+
+/// Dynamic per-task weights: λᵢ tracks the inverse of each task's running
+/// loss magnitude so no single task dominates (paper Eq. 2).
+#[derive(Debug, Clone)]
+pub struct DynamicWeights {
+    ema: Vec<f64>,
+    beta: f64,
+}
+
+impl DynamicWeights {
+    /// Balancer over `tasks` losses.
+    pub fn new(tasks: usize) -> DynamicWeights {
+        DynamicWeights {
+            ema: vec![1.0; tasks],
+            beta: 0.9,
+        }
+    }
+
+    /// Updates the running magnitudes and returns normalized weights.
+    pub fn update(&mut self, losses: &[f64]) -> Vec<f32> {
+        assert_eq!(losses.len(), self.ema.len(), "task count fixed");
+        for (e, &l) in self.ema.iter_mut().zip(losses) {
+            *e = self.beta * *e + (1.0 - self.beta) * l.max(1e-6);
+        }
+        let inv: Vec<f64> = self.ema.iter().map(|&e| 1.0 / (e + 1e-3)).collect();
+        let sum: f64 = inv.iter().sum();
+        inv.iter()
+            .map(|&i| (i / sum * losses.len() as f64) as f32)
+            .collect()
+    }
+}
+
+/// Trains MOSS (or a variant) through both phases.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainConfig,
+    optimizer: Adam,
+    rng: StdRng,
+}
+
+impl Trainer {
+    /// A trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Trainer {
+        Trainer {
+            optimizer: Adam::new(config.learning_rate),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Phase 1 — pre-training on the local tasks. Returns per-epoch losses
+    /// (the Fig. 7 curves).
+    pub fn pretrain(
+        &mut self,
+        model: &MossModel,
+        store: &mut ParamStore,
+        circuits: &[Prepared],
+    ) -> Vec<PretrainEpoch> {
+        let mut weights = DynamicWeights::new(4);
+        let mut history = Vec::with_capacity(self.config.pretrain_epochs);
+        let mut order: Vec<usize> = (0..circuits.len()).collect();
+        for _ in 0..self.config.pretrain_epochs {
+            order.shuffle(&mut self.rng);
+            let mut sums = [0.0f64; 5];
+            for &i in &order {
+                let prep = &circuits[i];
+                let mut g = Graph::new();
+                let l = model.local_losses(&mut g, store, prep);
+                let raw = [
+                    g.value(l.probability).get(0, 0) as f64,
+                    g.value(l.toggle).get(0, 0) as f64,
+                    g.value(l.arrival).get(0, 0) as f64,
+                    g.value(l.power).get(0, 0) as f64,
+                ];
+                let w = weights.update(&raw);
+                let total = weighted_sum(
+                    &mut g,
+                    &[l.probability, l.toggle, l.arrival, l.power],
+                    &w,
+                );
+                sums[0] += g.value(total).get(0, 0) as f64;
+                sums[1] += raw[0];
+                sums[2] += raw[1];
+                sums[3] += raw[2];
+                sums[4] += raw[3];
+                let grads = g.backward(total);
+                self.optimizer.step(store, &grads);
+            }
+            let n = circuits.len().max(1) as f64;
+            history.push(PretrainEpoch {
+                total: sums[0] / n,
+                probability: sums[1] / n,
+                toggle: sums[2] / n,
+                arrival: sums[3] / n,
+                power: sums[4] / n,
+            });
+        }
+        history
+    }
+
+    /// Phase 2 — multimodal alignment: RNC + RNM + RrNdM over circuit
+    /// batches, with the local tasks kept in the objective at reduced
+    /// weight. Returns per-epoch losses (the Fig. 8 curves).
+    ///
+    /// No-ops (returns empty history) if the model variant disables
+    /// alignment.
+    pub fn align(
+        &mut self,
+        model: &MossModel,
+        encoder: &TextEncoder,
+        store: &mut ParamStore,
+        circuits: &[Prepared],
+    ) -> Vec<AlignEpoch> {
+        if !model.config().variant.alignment() || circuits.len() < 2 {
+            return Vec::new();
+        }
+        // The GNN trunk is frozen during alignment: its outputs are
+        // precomputed once, and only the projection heads (W_n, W_r,
+        // register/DFF projections), the RNM MLP, the temperature, and the
+        // text encoder's LoRA adapters receive gradients. This protects the
+        // regression heads' trunk from the retrieval objective (at the
+        // paper's data scale joint training is feasible; at ours it
+        // catastrophically forgets arrival/toggle structure) and makes the
+        // phase cheap — no per-epoch GNN forward passes.
+        let frozen: Vec<(moss_tensor::Tensor, moss_tensor::Tensor)> = circuits
+            .iter()
+            .map(|p| model.frozen_embeddings(store, p))
+            .collect();
+        let mut opt = Adam::new(self.config.learning_rate * 2.0);
+        let batch = self.config.align_batch.max(2).min(circuits.len());
+        let mut history = Vec::with_capacity(self.config.align_epochs);
+        let mut order: Vec<usize> = (0..circuits.len()).collect();
+        for _ in 0..self.config.align_epochs {
+            order.shuffle(&mut self.rng);
+            let mut sums = [0.0f64; 4];
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch) {
+                if chunk.len() < 2 {
+                    continue;
+                }
+                let mut g = Graph::new();
+                let mut rtl = Vec::with_capacity(chunk.len());
+                let mut net = Vec::with_capacity(chunk.len());
+                let mut rrndm_losses: Vec<Var> = Vec::new();
+                for &i in chunk {
+                    let prep = &circuits[i];
+                    net.push(model.netlist_align_frozen(&mut g, store, &frozen[i].0));
+                    rtl.push(model.rtl_align_trainable(&mut g, store, encoder, &prep.rtl_windows));
+                    if let Some(r) = model.rrndm_frozen(&mut g, store, &frozen[i].1, prep) {
+                        rrndm_losses.push(r);
+                    }
+                }
+                let rnc = model.rnc_loss(&mut g, store, &rtl, &net);
+                let rnm = model.rnm_loss(&mut g, store, &rtl, &net);
+                let rrndm = mean_vars(&mut g, &rrndm_losses);
+
+                let mut total = g.add(rnc, rnm);
+                if let Some(r) = rrndm {
+                    total = g.add(total, r);
+                }
+                sums[0] += g.value(total).get(0, 0) as f64;
+                sums[1] += g.value(rnc).get(0, 0) as f64;
+                sums[2] += g.value(rnm).get(0, 0) as f64;
+                if let Some(r) = rrndm {
+                    sums[3] += g.value(r).get(0, 0) as f64;
+                }
+                batches += 1;
+                let grads = g.backward(total);
+                opt.step(store, &grads);
+            }
+            let n = batches.max(1) as f64;
+            history.push(AlignEpoch {
+                total: sums[0] / n,
+                rnc: sums[1] / n,
+                rnm: sums[2] / n,
+                rrndm: sums[3] / n,
+            });
+        }
+        history
+    }
+
+    /// Trains the DeepSeq2 baseline on its four local tasks.
+    pub fn train_deepseq2(
+        &mut self,
+        model: &DeepSeq2,
+        store: &mut ParamStore,
+        circuits: &[Prepared],
+    ) -> Vec<PretrainEpoch> {
+        let mut weights = DynamicWeights::new(4);
+        let mut history = Vec::with_capacity(self.config.pretrain_epochs);
+        let mut order: Vec<usize> = (0..circuits.len()).collect();
+        for _ in 0..self.config.pretrain_epochs {
+            order.shuffle(&mut self.rng);
+            let mut sums = [0.0f64; 5];
+            for &i in &order {
+                let prep = &circuits[i];
+                let mut g = Graph::new();
+                let l = model.losses(&mut g, store, prep);
+                let raw = [
+                    g.value(l.probability).get(0, 0) as f64,
+                    g.value(l.toggle).get(0, 0) as f64,
+                    g.value(l.arrival).get(0, 0) as f64,
+                    g.value(l.power).get(0, 0) as f64,
+                ];
+                let w = weights.update(&raw);
+                let total = weighted_sum(
+                    &mut g,
+                    &[l.probability, l.toggle, l.arrival, l.power],
+                    &w,
+                );
+                sums[0] += g.value(total).get(0, 0) as f64;
+                for (s, &r) in sums[1..].iter_mut().zip(&raw) {
+                    *s += r;
+                }
+                let grads = g.backward(total);
+                self.optimizer.step(store, &grads);
+            }
+            let n = circuits.len().max(1) as f64;
+            history.push(PretrainEpoch {
+                total: sums[0] / n,
+                probability: sums[1] / n,
+                toggle: sums[2] / n,
+                arrival: sums[3] / n,
+                power: sums[4] / n,
+            });
+        }
+        history
+    }
+}
+
+fn weighted_sum(g: &mut Graph, losses: &[Var], weights: &[f32]) -> Var {
+    debug_assert_eq!(losses.len(), weights.len());
+    let mut acc: Option<Var> = None;
+    for (&l, &w) in losses.iter().zip(weights) {
+        let scaled = g.scale(l, w);
+        acc = Some(match acc {
+            Some(a) => g.add(a, scaled),
+            None => scaled,
+        });
+    }
+    acc.expect("at least one loss")
+}
+
+fn mean_vars(g: &mut Graph, vars: &[Var]) -> Option<Var> {
+    if vars.is_empty() {
+        return None;
+    }
+    let mut acc = vars[0];
+    for &v in &vars[1..] {
+        acc = g.add(acc, v);
+    }
+    Some(g.scale(acc, 1.0 / vars.len() as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MossConfig, MossModel, MossVariant};
+    use crate::sample::{CircuitSample, SampleOptions};
+    use moss_llm::{EncoderConfig, TextEncoder};
+    use moss_netlist::CellLibrary;
+
+    fn tiny_world() -> (MossModel, TextEncoder, ParamStore, Vec<Prepared>) {
+        let sources = [
+            "module a(input clk, input x, output q);
+               reg r0; always @(posedge clk) r0 <= x ^ r0; assign q = r0;
+             endmodule",
+            "module b(input clk, input [1:0] d, output [1:0] q);
+               reg [1:0] s; always @(posedge clk) s <= s + d; assign q = s;
+             endmodule",
+            "module c(input clk, input e, output [1:0] q);
+               reg [1:0] s = 1; always @(posedge clk) s <= e ? (s << 1) : s;
+               assign q = s;
+             endmodule",
+        ];
+        let lib = CellLibrary::default();
+        let mut store = ParamStore::new();
+        let enc = TextEncoder::new(EncoderConfig::tiny(), &mut store, 1);
+        let model = MossModel::new(MossConfig::small(16, MossVariant::Full), &mut store, 2);
+        let preps: Vec<Prepared> = sources
+            .iter()
+            .map(|s| {
+                let m = moss_rtl::parse(s).unwrap();
+                let sample = CircuitSample::build(
+                    &m,
+                    &lib,
+                    &SampleOptions {
+                        sim_cycles: 128,
+                        ..SampleOptions::default()
+                    },
+                )
+                .unwrap();
+                model.prepare(&sample, &enc, &store, &lib, 500.0).unwrap()
+            })
+            .collect();
+        (model, enc, store, preps)
+    }
+
+    #[test]
+    fn pretrain_losses_trend_down() {
+        let (model, _enc, mut store, preps) = tiny_world();
+        let mut trainer = Trainer::new(TrainConfig {
+            pretrain_epochs: 10,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        });
+        let hist = trainer.pretrain(&model, &mut store, &preps);
+        assert_eq!(hist.len(), 10);
+        let first = hist.first().unwrap().total;
+        let last = hist.last().unwrap().total;
+        assert!(last < first, "{first} → {last}");
+    }
+
+    #[test]
+    fn align_phase_produces_curves_and_improves_rnc() {
+        let (model, enc, mut store, preps) = tiny_world();
+        let mut trainer = Trainer::new(TrainConfig {
+            pretrain_epochs: 3,
+            align_epochs: 12,
+            align_batch: 3,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        });
+        trainer.pretrain(&model, &mut store, &preps);
+        let hist = trainer.align(&model, &enc, &mut store, &preps);
+        assert_eq!(hist.len(), 12);
+        assert!(hist.last().unwrap().rnc < hist.first().unwrap().rnc);
+    }
+
+    #[test]
+    fn align_skipped_for_no_alignment_variant() {
+        let sources = "module a(input clk, input x, output q);
+               reg r0; always @(posedge clk) r0 <= x; assign q = r0;
+             endmodule";
+        let lib = CellLibrary::default();
+        let mut store = ParamStore::new();
+        let enc = TextEncoder::new(EncoderConfig::tiny(), &mut store, 1);
+        let model = MossModel::new(
+            MossConfig::small(16, MossVariant::WithoutAlignment),
+            &mut store,
+            2,
+        );
+        let m = moss_rtl::parse(sources).unwrap();
+        let sample = CircuitSample::build(
+            &m,
+            &lib,
+            &SampleOptions {
+                sim_cycles: 64,
+                ..SampleOptions::default()
+            },
+        )
+        .unwrap();
+        let prep = model.prepare(&sample, &enc, &store, &lib, 500.0).unwrap();
+        let mut trainer = Trainer::new(TrainConfig::default());
+        let hist = trainer.align(&model, &enc, &mut store, &[prep.clone(), prep]);
+        assert!(hist.is_empty());
+    }
+
+    #[test]
+    fn dynamic_weights_balance_magnitudes() {
+        let mut w = DynamicWeights::new(2);
+        // One task 100× larger: its weight must end up smaller.
+        let mut weights = vec![1.0, 1.0];
+        for _ in 0..50 {
+            weights = w.update(&[10.0, 0.1]);
+        }
+        assert!(weights[1] > weights[0] * 10.0);
+        // Weights stay normalized to the task count.
+        let sum: f32 = weights.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-3);
+    }
+}

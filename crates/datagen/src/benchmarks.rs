@@ -1,0 +1,372 @@
+//! The paper's eight named benchmark circuits (Table I), as parameterized
+//! RTL generators. Default parameters are tuned so synthesized cell counts
+//! land near the paper's: max_selector 278, pipeline_reg 610,
+//! prbs_generator 643, shift_reg_24 731, error_logger 812, signed_mac 1306,
+//! wb_data_mux 1364, mult_16x32_to_48 4144.
+
+use moss_rtl::{BinOp, Expr, Module, SignalKind};
+
+use crate::expr::*;
+
+/// A maximum-of-N selector: registers the running maximum of several input
+/// words (`max_selector`, 278 cells).
+pub fn max_selector(inputs: usize, width: u32) -> Module {
+    let mut m = Module::new("max_selector");
+    m.add_signal("clk", 1, SignalKind::Input);
+    let ins: Vec<_> = (0..inputs)
+        .map(|i| m.add_signal(format!("in{i}"), width, SignalKind::Input))
+        .collect();
+    let best = m.add_signal("best", width, SignalKind::Reg);
+    let out = m.add_signal("max_out", width, SignalKind::Output);
+
+    // Tournament tree of comparator muxes.
+    let mut cur: Vec<Expr> = ins.iter().map(|&s| var(s)).collect();
+    let mut wire_n = 0usize;
+    while cur.len() > 1 {
+        let mut next = Vec::new();
+        let mut iter = cur.into_iter();
+        while let (Some(a), Some(b)) = (iter.next(), iter.next()) {
+            let w = m.add_signal(format!("t{wire_n}"), width, SignalKind::Wire);
+            wire_n += 1;
+            m.add_assign(w, mux(bin(BinOp::Gt, a.clone(), b.clone()), a, b));
+            next.push(var(w));
+        }
+        next.extend(iter);
+        cur = next;
+    }
+    let winner = cur.pop().expect("at least one input");
+    m.add_reg_update(best, winner);
+    m.add_assign(out, var(best));
+    m
+}
+
+/// A multi-stage pipeline with arithmetic between stages
+/// (`pipeline_reg`, 610 cells).
+pub fn pipeline_reg(stages: usize, width: u32) -> Module {
+    let mut m = Module::new("pipeline_reg");
+    m.add_signal("clk", 1, SignalKind::Input);
+    let din = m.add_signal("din", width, SignalKind::Input);
+    let coef = m.add_signal("coef", width, SignalKind::Input);
+    let out = m.add_signal("dout", width, SignalKind::Output);
+    let mut prev = var(din);
+    for s in 0..stages {
+        let reg = m.add_signal(format!("stage{s}"), width, SignalKind::Reg);
+        let next = match s % 3 {
+            0 => add(prev, var(coef)),
+            1 => xor(prev, bin(BinOp::Shl, var(coef), konst((s % 4) as u64, 3))),
+            _ => and(add(prev, konst(1, width)), or(var(coef), konst(5, width))),
+        };
+        m.add_reg_update(reg, next);
+        prev = var(reg);
+    }
+    m.add_assign(out, prev);
+    m
+}
+
+/// Parallel PRBS (LFSR) generators with XOR whitening
+/// (`prbs_generator`, 643 cells).
+pub fn prbs_generator(lanes: usize, width: u32) -> Module {
+    let mut m = Module::new("prbs_generator");
+    m.add_signal("clk", 1, SignalKind::Input);
+    let seed_in = m.add_signal("seed_in", width, SignalKind::Input);
+    let load = m.add_signal("load", 1, SignalKind::Input);
+    let out = m.add_signal("prbs_out", width, SignalKind::Output);
+
+    let mut lane_exprs = Vec::new();
+    for l in 0..lanes {
+        let lfsr = m.add_signal(format!("lfsr{l}"), width, SignalKind::Reg);
+        m.add_reg_update_with_reset(
+            lfsr,
+            mux(
+                var(load),
+                add(var(seed_in), konst(l as u64 + 1, width)),
+                // Fibonacci LFSR: shift left, feedback = parity of taps.
+                concat(vec![
+                    slice(lfsr, width - 2, 0),
+                    xor(
+                        bit(lfsr, width - 1),
+                        xor(bit(lfsr, (width * (l as u32 + 1) / (lanes as u32 + 1)) % width),
+                            bit(lfsr, 1)),
+                    ),
+                ]),
+            ),
+            1 + l as u64,
+        );
+        lane_exprs.push(var(lfsr));
+    }
+    // Whitening: XOR all lanes together with a rotation.
+    let mut acc = lane_exprs[0].clone();
+    for (i, e) in lane_exprs.iter().enumerate().skip(1) {
+        acc = xor(
+            acc,
+            bin(BinOp::Shr, e.clone(), konst((i % 3) as u64, 2)),
+        );
+    }
+    m.add_assign(out, acc);
+    m
+}
+
+/// A deep, wide shift register with byte-swap feedback
+/// (`shift_reg_24`, 731 cells).
+pub fn shift_reg(stages: usize, width: u32) -> Module {
+    let mut m = Module::new("shift_reg_24");
+    m.add_signal("clk", 1, SignalKind::Input);
+    let din = m.add_signal("din", width, SignalKind::Input);
+    let en = m.add_signal("en", 1, SignalKind::Input);
+    let out = m.add_signal("dout", width, SignalKind::Output);
+    let mut prev = din;
+    for s in 0..stages {
+        let reg = m.add_signal(format!("sr{s}"), width, SignalKind::Reg);
+        let shifted = if s % 4 == 3 && width >= 8 {
+            // Occasional half-word rotate to add logic between stages.
+            concat(vec![
+                slice(prev, width / 2 - 1, 0),
+                slice(prev, width - 1, width / 2),
+            ])
+        } else {
+            xor(var(prev), konst((s as u64) & 0x3, width.min(2)))
+        };
+        m.add_reg_update(reg, mux(var(en), shifted, var(reg)));
+        prev = reg;
+    }
+    m.add_assign(out, var(prev));
+    m
+}
+
+/// An error logger: compares data against expected, accumulates an error
+/// count, remembers the last mismatching word and sticky per-bit flags
+/// (`error_logger`, 812 cells).
+pub fn error_logger(width: u32, counter_bits: u32) -> Module {
+    let mut m = Module::new("error_logger");
+    m.add_signal("clk", 1, SignalKind::Input);
+    let data = m.add_signal("data", width, SignalKind::Input);
+    let expected = m.add_signal("expected", width, SignalKind::Input);
+    let clear = m.add_signal("clear", 1, SignalKind::Input);
+    let count_o = m.add_signal("err_count", counter_bits, SignalKind::Output);
+    let last_o = m.add_signal("last_err", width, SignalKind::Output);
+    let flags_o = m.add_signal("sticky", width, SignalKind::Output);
+
+    let diff = m.add_signal("diff", width, SignalKind::Wire);
+    m.add_assign(diff, xor(var(data), var(expected)));
+    let has_err = m.add_signal("has_err", 1, SignalKind::Wire);
+    m.add_assign(
+        has_err,
+        Expr::Unary(
+            moss_rtl::UnaryOp::ReduceOr,
+            Box::new(slice(diff, 1.min(width - 1), 0)),
+        ),
+    );
+
+    let count = m.add_signal("count_r", counter_bits, SignalKind::Reg);
+    m.add_reg_update(
+        count,
+        mux(
+            var(clear),
+            konst(0, counter_bits),
+            mux(var(has_err), add(var(count), konst(1, counter_bits)), var(count)),
+        ),
+    );
+    let last = m.add_signal("last_r", width, SignalKind::Reg);
+    m.add_reg_update(last, mux(var(has_err), var(data), var(last)));
+    let sticky = m.add_signal("sticky_r", width, SignalKind::Reg);
+    m.add_reg_update(
+        sticky,
+        mux(var(clear), konst(0, width), or(var(sticky), var(diff))),
+    );
+    // A small checksum pipeline to reach the paper's size.
+    let sum1 = m.add_signal("sum1_r", width, SignalKind::Reg);
+    m.add_reg_update(sum1, add(var(sum1), var(diff)));
+    let sum2 = m.add_signal("sum2_r", width, SignalKind::Reg);
+    m.add_reg_update(sum2, xor(var(sum2), add(var(sum1), var(data))));
+
+    m.add_assign(count_o, var(count));
+    m.add_assign(last_o, var(last));
+    m.add_assign(flags_o, or(var(sticky), bin(BinOp::Shr, var(sum2), konst(1, 2))));
+    m
+}
+
+/// A multiply-accumulate unit (`signed_mac`, 1306 cells).
+pub fn signed_mac(a_width: u32, b_width: u32) -> Module {
+    let acc_width = (a_width + b_width + 4).min(64);
+    let mut m = Module::new("signed_mac");
+    m.add_signal("clk", 1, SignalKind::Input);
+    let a = m.add_signal("a", a_width, SignalKind::Input);
+    let b = m.add_signal("b", b_width, SignalKind::Input);
+    let clear = m.add_signal("clear", 1, SignalKind::Input);
+    let out = m.add_signal("acc_out", acc_width, SignalKind::Output);
+
+    let prod = m.add_signal("prod", a_width + b_width, SignalKind::Wire);
+    m.add_assign(prod, mul(var(a), var(b)));
+    let acc = m.add_signal("acc_r", acc_width, SignalKind::Reg);
+    m.add_reg_update(
+        acc,
+        mux(var(clear), konst(0, acc_width), add(var(acc), var(prod))),
+    );
+    m.add_assign(out, var(acc));
+    m
+}
+
+/// A Wishbone-style data mux: several bus sources selected onto a registered
+/// output with ready/grant logic (`wb_data_mux`, 1364 cells).
+pub fn wb_data_mux(sources: usize, width: u32) -> Module {
+    let mut m = Module::new("wb_data_mux");
+    m.add_signal("clk", 1, SignalKind::Input);
+    let sel_bits = (usize::BITS - (sources.max(2) - 1).leading_zeros()).max(1);
+    let sel = m.add_signal("sel", sel_bits, SignalKind::Input);
+    let ins: Vec<_> = (0..sources)
+        .map(|i| m.add_signal(format!("src{i}"), width, SignalKind::Input))
+        .collect();
+    let valid = m.add_signal("valid", 1, SignalKind::Input);
+    let out = m.add_signal("dat_o", width, SignalKind::Output);
+    let ack_o = m.add_signal("ack_o", 1, SignalKind::Output);
+
+    // Mux tree over the select register.
+    let sel_r = m.add_signal("sel_r", sel_bits, SignalKind::Reg);
+    m.add_reg_update(sel_r, var(sel));
+    let mut cur: Vec<Expr> = ins.iter().map(|&s| var(s)).collect();
+    let mut level = 0u32;
+    let mut wire_n = 0usize;
+    while cur.len() > 1 {
+        let mut next = Vec::new();
+        let mut iter = cur.into_iter();
+        while let (Some(a0), Some(a1)) = (iter.next(), iter.next()) {
+            let w = m.add_signal(format!("mx{wire_n}"), width, SignalKind::Wire);
+            wire_n += 1;
+            m.add_assign(w, mux(bit(sel_r, level.min(sel_bits - 1)), a1, a0));
+            next.push(var(w));
+        }
+        next.extend(iter);
+        cur = next;
+        level += 1;
+    }
+    let chosen = cur.pop().expect("at least one source");
+    let dat_r = m.add_signal("dat_r", width, SignalKind::Reg);
+    m.add_reg_update(dat_r, mux(var(valid), chosen, var(dat_r)));
+    let ack_r = m.add_signal("ack_r", 1, SignalKind::Reg);
+    m.add_reg_update(ack_r, var(valid));
+    // Parity tag appended to widen the datapath.
+    let parity = m.add_signal("par_r", width, SignalKind::Reg);
+    m.add_reg_update(parity, xor(var(parity), var(dat_r)));
+    m.add_assign(out, xor(var(dat_r), and(var(parity), konst(1, width))));
+    m.add_assign(ack_o, var(ack_r));
+    m
+}
+
+/// A registered 16×32 → 48 multiplier (`mult_16x32_to_48`, 4144 cells).
+pub fn mult_16x32_to_48() -> Module {
+    let mut m = Module::new("mult_16x32_to_48");
+    m.add_signal("clk", 1, SignalKind::Input);
+    let a = m.add_signal("a", 16, SignalKind::Input);
+    let b = m.add_signal("b", 32, SignalKind::Input);
+    let out = m.add_signal("p", 48, SignalKind::Output);
+    let prod = m.add_signal("prod_r", 48, SignalKind::Reg);
+    m.add_reg_update(prod, mul(var(a), var(b)));
+    m.add_assign(out, var(prod));
+    m
+}
+
+/// The full Table I benchmark suite with paper-scale default parameters.
+pub fn benchmark_suite() -> Vec<Module> {
+    vec![
+        max_selector(5, 8),
+        pipeline_reg(10, 10),
+        prbs_generator(6, 16),
+        shift_reg(24, 14),
+        error_logger(22, 16),
+        signed_mac(10, 12),
+        wb_data_mux(32, 38),
+        mult_16x32_to_48(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moss_synth::{synthesize, SynthOptions};
+
+    fn cells(m: &Module) -> usize {
+        synthesize(m, &SynthOptions::default())
+            .unwrap_or_else(|e| panic!("{} failed to synthesize: {e}", m.name()))
+            .netlist
+            .cell_count()
+    }
+
+    #[test]
+    fn all_benchmarks_synthesize_and_simulate() {
+        for m in benchmark_suite() {
+            let interp = moss_rtl::Interpreter::new(&m)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", m.name()));
+            drop(interp);
+            let c = cells(&m);
+            assert!(c > 50, "{} too small: {c}", m.name());
+        }
+    }
+
+    #[test]
+    fn suite_sizes_ascend_like_the_paper() {
+        let sizes: Vec<(String, usize)> = benchmark_suite()
+            .iter()
+            .map(|m| (m.name().to_owned(), cells(m)))
+            .collect();
+        // The multiplier must dominate, as in Table I.
+        let mult = sizes.iter().find(|(n, _)| n == "mult_16x32_to_48").unwrap();
+        for (name, c) in &sizes {
+            if name != "mult_16x32_to_48" {
+                assert!(mult.1 > *c, "{name} ({c}) ≥ mult ({})", mult.1);
+            }
+        }
+    }
+
+    #[test]
+    fn benchmarks_have_sequential_state() {
+        for m in benchmark_suite() {
+            assert!(
+                !m.registers().is_empty(),
+                "{} must be sequential",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prbs_produces_changing_output() {
+        let m = prbs_generator(3, 8);
+        let mut it = moss_rtl::Interpreter::new(&m).unwrap();
+        let out = m.find("prbs_out").unwrap();
+        let mut values = std::collections::HashSet::new();
+        for _ in 0..32 {
+            it.step(&[]);
+            values.insert(it.peek(out));
+        }
+        assert!(values.len() > 8, "PRBS cycles through many states");
+    }
+
+    #[test]
+    fn max_selector_registers_per_cycle_max() {
+        let m = max_selector(4, 8);
+        let mut it = moss_rtl::Interpreter::new(&m).unwrap();
+        let ins: Vec<_> = (0..4).map(|i| m.find(&format!("in{i}")).unwrap()).collect();
+        let out = m.find("max_out").unwrap();
+        it.step(&[(ins[0], 5), (ins[1], 17), (ins[2], 3), (ins[3], 9)]);
+        assert_eq!(it.peek(out), 17);
+        it.step(&[(ins[0], 2), (ins[1], 1), (ins[2], 4), (ins[3], 0)]);
+        assert_eq!(it.peek(out), 4, "tracks the current cycle's max");
+        it.step(&[(ins[0], 200), (ins[1], 1), (ins[2], 4), (ins[3], 0)]);
+        assert_eq!(it.peek(out), 200);
+    }
+
+    #[test]
+    fn mac_accumulates_products() {
+        let m = signed_mac(8, 8);
+        let mut it = moss_rtl::Interpreter::new(&m).unwrap();
+        let a = m.find("a").unwrap();
+        let b = m.find("b").unwrap();
+        let clear = m.find("clear").unwrap();
+        let out = m.find("acc_out").unwrap();
+        it.step(&[(a, 3), (b, 4), (clear, 0)]);
+        it.step(&[(a, 5), (b, 6), (clear, 0)]);
+        assert_eq!(it.peek(out), 3 * 4 + 5 * 6);
+        it.step(&[(a, 9), (b, 9), (clear, 1)]);
+        assert_eq!(it.peek(out), 0, "clear wins");
+    }
+}

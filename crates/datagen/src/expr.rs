@@ -1,0 +1,85 @@
+//! Small expression-building helpers over the `moss-rtl` AST, shared by all
+//! generators.
+
+use moss_rtl::{BinOp, Expr, SignalId, UnaryOp};
+
+/// A whole-signal reference.
+pub fn var(s: SignalId) -> Expr {
+    Expr::Var(s)
+}
+
+/// A sized constant.
+pub fn konst(value: u64, width: u32) -> Expr {
+    Expr::constant(value, width)
+}
+
+/// A binary operation.
+pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+    Expr::Binary(op, Box::new(l), Box::new(r))
+}
+
+/// `l + r`.
+pub fn add(l: Expr, r: Expr) -> Expr {
+    bin(BinOp::Add, l, r)
+}
+
+/// `l ^ r`.
+pub fn xor(l: Expr, r: Expr) -> Expr {
+    bin(BinOp::Xor, l, r)
+}
+
+/// `l & r`.
+pub fn and(l: Expr, r: Expr) -> Expr {
+    bin(BinOp::And, l, r)
+}
+
+/// `l | r`.
+pub fn or(l: Expr, r: Expr) -> Expr {
+    bin(BinOp::Or, l, r)
+}
+
+/// `l * r`.
+pub fn mul(l: Expr, r: Expr) -> Expr {
+    bin(BinOp::Mul, l, r)
+}
+
+/// `cond ? t : e`.
+pub fn mux(cond: Expr, t: Expr, e: Expr) -> Expr {
+    Expr::Mux(Box::new(cond), Box::new(t), Box::new(e))
+}
+
+/// `~e`.
+pub fn not(e: Expr) -> Expr {
+    Expr::Unary(UnaryOp::Not, Box::new(e))
+}
+
+/// Single-bit select.
+pub fn bit(s: SignalId, i: u32) -> Expr {
+    Expr::Index(s, i)
+}
+
+/// Part select `[hi:lo]`.
+pub fn slice(s: SignalId, hi: u32, lo: u32) -> Expr {
+    Expr::Slice(s, hi, lo)
+}
+
+/// Concatenation (first part most significant).
+pub fn concat(parts: Vec<Expr>) -> Expr {
+    Expr::Concat(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moss_rtl::{Module, SignalKind};
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        let mut m = Module::new("t");
+        let a = m.add_signal("a", 4, SignalKind::Input);
+        let e = mux(bit(a, 0), add(var(a), konst(1, 4)), slice(a, 3, 1));
+        assert!(matches!(e, Expr::Mux(..)));
+        assert_eq!(add(var(a), konst(1, 4)).width(&m), 4);
+        assert_eq!(concat(vec![var(a), var(a)]).width(&m), 8);
+    }
+}

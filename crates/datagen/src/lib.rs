@@ -1,0 +1,39 @@
+//! # moss-datagen
+//!
+//! Dataset generation for the MOSS reproduction. The paper trains on 31,701
+//! collected RTL designs synthesized into 100–5000-cell circuits (§V-A);
+//! that dataset is private, so this crate provides:
+//!
+//! - the eight named Table I benchmark circuits as parameterized RTL
+//!   generators ([`benchmark_suite`]: `max_selector`, `pipeline_reg`,
+//!   `prbs_generator`, `shift_reg_24`, `error_logger`, `signed_mac`,
+//!   `wb_data_mux`, `mult_16x32_to_48`);
+//! - [`random_module`]/[`random_corpus`]: structurally-valid random
+//!   sequential designs across size classes;
+//! - [`finetune_pairs`]: contrastive text pairs (register prompt ↔ DFF
+//!   context, RTL source ↔ summary) for LLM fine-tuning.
+//!
+//! ## Example
+//!
+//! ```
+//! let suite = moss_datagen::benchmark_suite();
+//! assert_eq!(suite.len(), 8);
+//! assert!(suite.iter().any(|m| m.name() == "mult_16x32_to_48"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benchmarks;
+mod corpus;
+pub mod expr;
+mod extras;
+mod random;
+
+pub use benchmarks::{
+    benchmark_suite, error_logger, max_selector, mult_16x32_to_48, pipeline_reg,
+    prbs_generator, shift_reg, signed_mac, wb_data_mux,
+};
+pub use corpus::finetune_pairs;
+pub use extras::{alu, fifo_ctrl, uart_tx};
+pub use random::{random_corpus, random_module, SizeClass};

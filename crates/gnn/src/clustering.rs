@@ -1,0 +1,299 @@
+//! Adaptive node clustering for the aggregator design (paper Fig. 5).
+//!
+//! "MOSS first uses DBSCAN and hierarchical clustering to dynamically group
+//! nodes based on their LLM-derived embeddings. DBSCAN clusters nodes based
+//! on functional similarity […]. Hierarchical clustering further refines
+//! these clusters by considering both functional similarities and structural
+//! dependencies such as fan-in and fan-out."
+//!
+//! Each resulting cluster gets its own attention aggregator, so the final
+//! cluster count is capped (every cluster costs parameters).
+
+/// Clustering configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// DBSCAN neighborhood radius in embedding space.
+    pub eps: f32,
+    /// DBSCAN core-point threshold.
+    pub min_pts: usize,
+    /// Maximum aggregator count after hierarchical merging.
+    pub max_clusters: usize,
+    /// Weight of structural (fan-in/fan-out) distance in the merge metric.
+    pub structure_weight: f32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            eps: 0.5,
+            min_pts: 3,
+            max_clusters: 6,
+            structure_weight: 0.25,
+        }
+    }
+}
+
+/// A node-to-cluster assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster id per node, densely numbered `0..count`.
+    pub assignment: Vec<usize>,
+    /// Number of clusters.
+    pub count: usize,
+}
+
+/// Clusters nodes by embedding similarity (DBSCAN), then agglomeratively
+/// merges clusters — using combined functional + structural centroid
+/// distance — until at most `max_clusters` remain.
+///
+/// `embeddings[i]` is node *i*'s functional (LLM-derived) vector;
+/// `structure[i]` is `(fan_in, fan_out)`.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use moss_gnn::{cluster_nodes, ClusterConfig};
+///
+/// // Two tight groups far apart.
+/// let embs = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
+///     vec![5.0, 5.0], vec![5.1, 5.0], vec![5.0, 5.1],
+/// ];
+/// let st = vec![(2.0, 1.0); 6];
+/// let cfg = ClusterConfig { min_pts: 2, ..ClusterConfig::default() };
+/// let c = cluster_nodes(&embs, &st, &cfg);
+/// assert_eq!(c.assignment[0], c.assignment[1]);
+/// assert_ne!(c.assignment[0], c.assignment[3]);
+/// ```
+pub fn cluster_nodes(
+    embeddings: &[Vec<f32>],
+    structure: &[(f32, f32)],
+    config: &ClusterConfig,
+) -> Clustering {
+    assert_eq!(
+        embeddings.len(),
+        structure.len(),
+        "one structure pair per embedding"
+    );
+    let n = embeddings.len();
+    if n == 0 {
+        return Clustering {
+            assignment: Vec::new(),
+            count: 0,
+        };
+    }
+
+    // ---- phase 1: DBSCAN on embeddings ----
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut next = 0usize;
+    for i in 0..n {
+        if labels[i].is_some() {
+            continue;
+        }
+        let neighbors = region(embeddings, i, config.eps);
+        if neighbors.len() < config.min_pts {
+            continue; // provisional noise; may be claimed by a later cluster
+        }
+        let cluster = next;
+        next += 1;
+        labels[i] = Some(cluster);
+        let mut frontier = neighbors;
+        while let Some(j) = frontier.pop() {
+            if labels[j].is_some() {
+                continue;
+            }
+            labels[j] = Some(cluster);
+            let nbrs = region(embeddings, j, config.eps);
+            if nbrs.len() >= config.min_pts {
+                frontier.extend(nbrs);
+            }
+        }
+    }
+    // Noise points: each becomes a singleton cluster (to be merged below).
+    for l in labels.iter_mut() {
+        if l.is_none() {
+            *l = Some(next);
+            next += 1;
+        }
+    }
+    let mut assignment: Vec<usize> = labels.into_iter().map(|l| l.expect("assigned")).collect();
+    let mut count = next;
+
+    // ---- phase 2: agglomerative merge on (functional ⊕ structural) centroids ----
+    while count > config.max_clusters.max(1) {
+        let centroids = centroids_of(embeddings, structure, &assignment, count, config);
+        // Find the closest centroid pair.
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f32::INFINITY);
+        for i in 0..count {
+            for j in (i + 1)..count {
+                let d = sq_dist(&centroids[i], &centroids[j]);
+                if d < best {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // Merge bj into bi; renumber the last cluster into bj's slot.
+        for a in assignment.iter_mut() {
+            if *a == bj {
+                *a = bi;
+            } else if *a == count - 1 {
+                *a = bj;
+            }
+        }
+        count -= 1;
+        if count == 1 {
+            break;
+        }
+    }
+
+    // Dense renumbering in first-appearance order for determinism.
+    let mut remap: Vec<Option<usize>> = vec![None; count.max(1)];
+    let mut dense = 0usize;
+    for a in assignment.iter_mut() {
+        let slot = &mut remap[*a];
+        let id = match slot {
+            Some(id) => *id,
+            None => {
+                let id = dense;
+                dense += 1;
+                *slot = Some(id);
+                id
+            }
+        };
+        *a = id;
+    }
+    Clustering {
+        assignment,
+        count: dense,
+    }
+}
+
+fn region(embeddings: &[Vec<f32>], i: usize, eps: f32) -> Vec<usize> {
+    let eps2 = eps * eps;
+    (0..embeddings.len())
+        .filter(|&j| j != i && sq_dist(&embeddings[i], &embeddings[j]) <= eps2)
+        .collect()
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn centroids_of(
+    embeddings: &[Vec<f32>],
+    structure: &[(f32, f32)],
+    assignment: &[usize],
+    count: usize,
+    config: &ClusterConfig,
+) -> Vec<Vec<f32>> {
+    let dim = embeddings[0].len();
+    let mut sums = vec![vec![0.0f32; dim + 2]; count];
+    let mut sizes = vec![0usize; count];
+    for (i, &c) in assignment.iter().enumerate() {
+        for (k, &e) in embeddings[i].iter().enumerate() {
+            sums[c][k] += e;
+        }
+        sums[c][dim] += structure[i].0 * config.structure_weight;
+        sums[c][dim + 1] += structure[i].1 * config.structure_weight;
+        sizes[c] += 1;
+    }
+    for (s, &sz) in sums.iter_mut().zip(&sizes) {
+        let d = sz.max(1) as f32;
+        for v in s.iter_mut() {
+            *v /= d;
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f32, f32), n: usize, spread: f32) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    center.0 + spread * (i as f32 / n as f32 - 0.5),
+                    center.1 + spread * ((i * 7 % n) as f32 / n as f32 - 0.5),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separated_blobs_get_separate_clusters() {
+        let mut embs = blob((0.0, 0.0), 10, 0.2);
+        embs.extend(blob((10.0, 10.0), 10, 0.2));
+        let st = vec![(2.0, 2.0); 20];
+        let c = cluster_nodes(&embs, &st, &ClusterConfig::default());
+        assert_eq!(c.count, 2);
+        assert!(c.assignment[..10].iter().all(|&a| a == c.assignment[0]));
+        assert!(c.assignment[10..].iter().all(|&a| a == c.assignment[10]));
+        assert_ne!(c.assignment[0], c.assignment[10]);
+    }
+
+    #[test]
+    fn noise_points_are_not_lost() {
+        let mut embs = blob((0.0, 0.0), 8, 0.2);
+        embs.push(vec![100.0, 100.0]); // lone outlier
+        let st = vec![(1.0, 1.0); 9];
+        let c = cluster_nodes(&embs, &st, &ClusterConfig::default());
+        assert_eq!(c.assignment.len(), 9);
+        assert!(c.count >= 2, "outlier keeps its own cluster");
+    }
+
+    #[test]
+    fn merge_caps_cluster_count() {
+        // 12 singleton-ish points far apart → merged down to the cap.
+        let embs: Vec<Vec<f32>> = (0..12).map(|i| vec![i as f32 * 10.0, 0.0]).collect();
+        let st = vec![(1.0, 1.0); 12];
+        let cfg = ClusterConfig {
+            max_clusters: 4,
+            ..ClusterConfig::default()
+        };
+        let c = cluster_nodes(&embs, &st, &cfg);
+        assert_eq!(c.count, 4);
+        assert!(c.assignment.iter().all(|&a| a < 4));
+    }
+
+    #[test]
+    fn structure_influences_merging() {
+        // Two pairs with identical embeddings but very different fanout;
+        // with a high structure weight the merge order respects structure.
+        let embs = vec![vec![0.0], vec![30.0], vec![60.0], vec![90.0]];
+        let st = vec![(0.0, 0.0), (0.0, 500.0), (0.0, 0.0), (0.0, 500.0)];
+        let cfg = ClusterConfig {
+            eps: 0.1,
+            min_pts: 1,
+            max_clusters: 2,
+            structure_weight: 10.0,
+        };
+        let c = cluster_nodes(&embs, &st, &cfg);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.assignment[0], c.assignment[2], "low-fanout merge");
+        assert_eq!(c.assignment[1], c.assignment[3], "high-fanout merge");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let c = cluster_nodes(&[], &[], &ClusterConfig::default());
+        assert_eq!(c.count, 0);
+        assert!(c.assignment.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let embs = blob((1.0, 2.0), 15, 1.0);
+        let st: Vec<(f32, f32)> = (0..15).map(|i| (i as f32, 1.0)).collect();
+        let a = cluster_nodes(&embs, &st, &ClusterConfig::default());
+        let b = cluster_nodes(&embs, &st, &ClusterConfig::default());
+        assert_eq!(a, b);
+    }
+}

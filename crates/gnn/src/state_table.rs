@@ -1,0 +1,126 @@
+//! Chunked node-state tracking for asynchronous propagation.
+//!
+//! Keeping all node states in one `n × d` tape variable makes every
+//! level-group update clone the full matrix (scatter) and every message
+//! gather allocate full-size gradients — O(n) work *per group* instead of
+//! per node. [`StateTable`] instead records each group's output as its own
+//! chunk and assembles the full matrix only once for readout, making one
+//! propagation sweep O(total nodes) regardless of group count.
+
+use moss_tensor::{Graph, Var};
+
+/// Tracks which tape variable currently holds each node's state.
+#[derive(Debug, Clone)]
+pub struct StateTable {
+    /// node → (chunk index, row within chunk).
+    loc: Vec<(u32, u32)>,
+    chunks: Vec<Var>,
+}
+
+impl StateTable {
+    /// All nodes start in `initial` (an `n × d` variable), row = node index.
+    pub fn new(initial: Var, n: usize) -> StateTable {
+        StateTable {
+            loc: (0..n).map(|i| (0, i as u32)).collect(),
+            chunks: vec![initial],
+        }
+    }
+
+    /// Gathers the current states of `nodes` into a `|nodes| × d` variable,
+    /// splitting into per-chunk gathers and concatenating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or any index is out of range.
+    pub fn gather(&self, g: &mut Graph, nodes: &[usize]) -> Var {
+        assert!(!nodes.is_empty(), "gather of nothing");
+        let mut parts: Vec<Var> = Vec::new();
+        let mut run_chunk = self.loc[nodes[0]].0;
+        let mut run_rows: Vec<usize> = Vec::new();
+        for &node in nodes {
+            let (chunk, row) = self.loc[node];
+            if chunk != run_chunk {
+                parts.push(g.gather_rows(self.chunks[run_chunk as usize], &run_rows));
+                run_rows.clear();
+                run_chunk = chunk;
+            }
+            run_rows.push(row as usize);
+        }
+        parts.push(g.gather_rows(self.chunks[run_chunk as usize], &run_rows));
+        if parts.len() == 1 {
+            parts[0]
+        } else {
+            g.concat_rows(&parts)
+        }
+    }
+
+    /// Records `new` (a `|nodes| × d` variable) as the fresh state of
+    /// `nodes`.
+    pub fn update(&mut self, new: Var, nodes: &[usize]) {
+        let chunk = self.chunks.len() as u32;
+        self.chunks.push(new);
+        for (row, &node) in nodes.iter().enumerate() {
+            self.loc[node] = (chunk, row as u32);
+        }
+    }
+
+    /// Assembles the full `n × d` state matrix in node order.
+    pub fn assemble(&self, g: &mut Graph) -> Var {
+        let all: Vec<usize> = (0..self.loc.len()).collect();
+        self.gather(g, &all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moss_tensor::Tensor;
+
+    #[test]
+    fn gather_and_update_track_rows() {
+        let mut g = Graph::new();
+        let init = g.input(Tensor::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]));
+        let mut table = StateTable::new(init, 4);
+        // Update nodes 1 and 3 with fresh values.
+        let fresh = g.input(Tensor::from_rows(&[&[10.0], &[30.0]]));
+        table.update(fresh, &[1, 3]);
+        let full = table.assemble(&mut g);
+        assert_eq!(
+            g.value(full).data(),
+            &[0.0, 10.0, 2.0, 30.0],
+            "updated rows replaced, others intact"
+        );
+        // Gather mixes chunks correctly.
+        let mix = table.gather(&mut g, &[3, 0, 1]);
+        assert_eq!(g.value(mix).data(), &[30.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn consecutive_same_chunk_nodes_use_one_gather() {
+        let mut g = Graph::new();
+        let init = g.input(Tensor::zeros(8, 2));
+        let table = StateTable::new(init, 8);
+        let before = g.len();
+        let _ = table.gather(&mut g, &[2, 3, 4]);
+        // Single chunk → exactly one gather op, no concat.
+        assert_eq!(g.len() - before, 1);
+    }
+
+    #[test]
+    fn gradients_flow_through_table() {
+        use moss_tensor::ParamStore;
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let mut g = Graph::new();
+        let init = g.param(p, &store);
+        let mut table = StateTable::new(init, 3);
+        let picked = table.gather(&mut g, &[0, 2]);
+        let doubled = g.scale(picked, 2.0);
+        table.update(doubled, &[0, 2]);
+        let full = table.assemble(&mut g);
+        let loss = g.sum_all(full);
+        let grads = g.backward(loss);
+        // Nodes 0 and 2 contribute doubled, node 1 contributes once.
+        assert_eq!(grads.get(p).unwrap().data(), &[2.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # moss-llm
+//!
+//! The "LLM" modality of the MOSS reproduction: a from-scratch transformer
+//! text encoder standing in for the paper's fine-tuned Yi-Coder-9B-Chat
+//! (§IV-A). MOSS only consumes *embeddings* from the language model — mean-
+//! pooled token states over RTL code, register-description prompts, and
+//! standard-cell datasheet text — so the substitution preserves the property
+//! the framework depends on: functionally related circuit texts embed close
+//! together after fine-tuning.
+//!
+//! - [`Tokenizer`]: deterministic hash-bucket word tokenizer;
+//! - [`TextEncoder`]: pre-LN transformer with LoRA adapters on Q/V
+//!   (mirroring the paper's LoRA fine-tuning), sinusoidal positions, and
+//!   mean pooling (Fig. 3b);
+//! - [`FineTuner`]: masked-token + contrastive-pair fine-tuning.
+//!
+//! ## Example
+//!
+//! ```
+//! use moss_llm::{EncoderConfig, TextEncoder};
+//! use moss_tensor::ParamStore;
+//!
+//! let mut store = ParamStore::new();
+//! let enc = TextEncoder::new(EncoderConfig::tiny(), &mut store, 42);
+//! let e = enc.embed_text(&store, "rising edge d type flip flop");
+//! assert_eq!(e.shape(), (1, enc.config().d_model));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod encoder;
+mod finetune;
+mod tokenizer;
+
+pub use encoder::{EncoderConfig, TextEncoder, TrainMode};
+pub use finetune::{FineTuneConfig, FineTuneEpoch, FineTuner};
+pub use tokenizer::{special, Tokenizer};

@@ -1,0 +1,129 @@
+//! Combinational cone extraction and register-to-register connectivity.
+//!
+//! The paper's key structural observation (Fig. 1c) is that DFFs partition a
+//! sequential circuit into shallow combinational neighborhoods: each DFF
+//! "aggregates upstream input information and propagates it downstream".
+//! These helpers expose exactly that partition — the fanin cone of a node up
+//! to the sequential boundary, and the DFF→DFF adjacency it induces.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::graph::{Netlist, NodeId, NodeKind};
+
+/// The transitive fanin of `root`, walking backwards through combinational
+/// cells and stopping at primary inputs and DFF outputs (the sequential
+/// boundary). The returned set includes `root` and the boundary nodes.
+pub fn fanin_cone(netlist: &Netlist, root: NodeId) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(root);
+    queue.push_back(root);
+    while let Some(id) = queue.pop_front() {
+        // Stop *expanding* at sequential/primary boundaries, but keep them in
+        // the cone. The root itself is always expanded one step so that the
+        // cone of a DFF covers its D-side logic.
+        let expand = id == root
+            || matches!(netlist.kind(id), NodeKind::Cell(k) if !k.is_sequential());
+        if !expand {
+            continue;
+        }
+        for &f in netlist.fanins(id) {
+            if seen.insert(f) {
+                queue.push_back(f);
+            }
+        }
+    }
+    seen
+}
+
+/// Register-to-register adjacency: for each DFF (or primary output), which
+/// DFFs/primary inputs drive it through combinational logic.
+///
+/// Returned as `(sinks, sources_per_sink)` where sinks are all DFFs and POs.
+pub fn register_adjacency(netlist: &Netlist) -> Vec<(NodeId, Vec<NodeId>)> {
+    let mut result = Vec::new();
+    for id in netlist.node_ids() {
+        let is_sink = netlist.kind(id).is_dff()
+            || netlist.kind(id) == NodeKind::PrimaryOutput;
+        if !is_sink {
+            continue;
+        }
+        let cone = fanin_cone(netlist, id);
+        let mut sources: Vec<NodeId> = cone
+            .into_iter()
+            .filter(|&c| {
+                c != id
+                    && (netlist.kind(c).is_dff()
+                        || netlist.kind(c) == NodeKind::PrimaryInput)
+            })
+            .collect();
+        sources.sort();
+        result.push((id, sources));
+    }
+    result
+}
+
+/// Size of the combinational cone feeding each DFF, a proxy for the local
+/// modeling difficulty the paper's DFF-anchored design exploits.
+pub fn dff_cone_sizes(netlist: &Netlist) -> Vec<(NodeId, usize)> {
+    netlist
+        .dffs()
+        .into_iter()
+        .map(|d| (d, fanin_cone(netlist, d).len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    #[test]
+    fn cone_stops_at_dff_boundary() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let inv_a = nl.add_cell(CellKind::Inv, "u0", &[a]).unwrap();
+        let ff1 = nl.add_cell(CellKind::Dff, "r1", &[inv_a]).unwrap();
+        let g = nl.add_cell(CellKind::Inv, "u1", &[ff1]).unwrap();
+        let ff2 = nl.add_cell(CellKind::Dff, "r2", &[g]).unwrap();
+        nl.add_output("y", ff2);
+
+        let cone = fanin_cone(&nl, ff2);
+        assert!(cone.contains(&ff2));
+        assert!(cone.contains(&g));
+        assert!(cone.contains(&ff1), "boundary DFF included");
+        assert!(!cone.contains(&inv_a), "logic behind boundary excluded");
+        assert!(!cone.contains(&a));
+    }
+
+    #[test]
+    fn register_adjacency_links_flops() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let ff1 = nl.add_cell(CellKind::Dff, "r1", &[a]).unwrap();
+        let g = nl.add_cell(CellKind::Xor2, "u1", &[ff1, a]).unwrap();
+        let ff2 = nl.add_cell(CellKind::Dff, "r2", &[g]).unwrap();
+        nl.add_output("y", ff2);
+
+        let adj = register_adjacency(&nl);
+        let ff2_sources = &adj.iter().find(|(s, _)| *s == ff2).unwrap().1;
+        assert!(ff2_sources.contains(&ff1));
+        assert!(ff2_sources.contains(&a));
+        let ff1_sources = &adj.iter().find(|(s, _)| *s == ff1).unwrap().1;
+        assert_eq!(ff1_sources, &vec![a]);
+    }
+
+    #[test]
+    fn cone_sizes_cover_all_dffs() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let f1 = nl.add_cell(CellKind::Dff, "r1", &[a]).unwrap();
+        let f2 = nl.add_cell(CellKind::Dff, "r2", &[f1]).unwrap();
+        nl.add_output("y", f2);
+        let sizes = dff_cone_sizes(&nl);
+        assert_eq!(sizes.len(), 2);
+        for (_, s) in sizes {
+            assert!(s >= 2);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for netlist construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cell::CellKind;
+
+/// Errors produced while building or analyzing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell was connected with the wrong number of fanins.
+    PinCountMismatch {
+        /// The cell kind.
+        cell: CellKind,
+        /// Pins the cell requires.
+        expected: usize,
+        /// Pins supplied.
+        got: usize,
+    },
+    /// A fanin id referenced a node that does not exist.
+    UnknownNode(usize),
+    /// A node has dangling (unconnected) pins.
+    DanglingPins {
+        /// Node index.
+        node: usize,
+        /// Node name.
+        name: String,
+        /// Pins required.
+        expected: usize,
+        /// Pins connected.
+        got: usize,
+    },
+    /// Fanin and fanout adjacency lists disagree.
+    InconsistentAdjacency {
+        /// Driver index.
+        from: usize,
+        /// Sink index.
+        to: usize,
+    },
+    /// The combinational portion of the netlist contains a cycle
+    /// (a feedback loop not broken by a DFF).
+    CombinationalCycle {
+        /// A node on the cycle.
+        node: usize,
+    },
+    /// Structural Verilog failed to parse.
+    VerilogParse {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::PinCountMismatch { cell, expected, got } => {
+                write!(f, "cell {cell} requires {expected} fanins, got {got}")
+            }
+            NetlistError::UnknownNode(i) => write!(f, "fanin references unknown node {i}"),
+            NetlistError::DanglingPins { node, name, expected, got } => write!(
+                f,
+                "node {node} ({name}) has {got} connected pins, requires {expected}"
+            ),
+            NetlistError::InconsistentAdjacency { from, to } => write!(
+                f,
+                "adjacency lists disagree on edge {from} -> {to}"
+            ),
+            NetlistError::CombinationalCycle { node } => write!(
+                f,
+                "combinational cycle through node {node} (missing a flip-flop on a feedback path)"
+            ),
+            NetlistError::VerilogParse { message } => {
+                write!(f, "verilog parse error: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NetlistError::UnknownNode(3);
+        let s = e.to_string();
+        assert!(s.contains('3'));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetlistError>();
+    }
+}

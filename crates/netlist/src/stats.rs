@@ -1,0 +1,149 @@
+//! Summary statistics and DOT export for netlists.
+
+use std::fmt;
+
+use crate::cell::CellKind;
+use crate::graph::{Netlist, NodeKind};
+use crate::level::Levelization;
+
+/// Aggregate statistics for a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total cells (combinational + DFF).
+    pub cells: usize,
+    /// Number of DFFs.
+    pub dffs: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Total connections.
+    pub edges: usize,
+    /// Logic depth (max combinational level), if acyclic.
+    pub depth: Option<u32>,
+    /// Per-kind cell histogram, indexed by [`CellKind::index`].
+    pub kind_histogram: Vec<usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let mut kind_histogram = vec![0usize; CellKind::ALL.len()];
+        let mut inputs = 0;
+        let mut outputs = 0;
+        for id in netlist.node_ids() {
+            match netlist.kind(id) {
+                NodeKind::PrimaryInput => inputs += 1,
+                NodeKind::PrimaryOutput => outputs += 1,
+                NodeKind::Cell(k) => kind_histogram[k.index()] += 1,
+            }
+        }
+        let depth = Levelization::of(netlist).ok().map(|l| l.max_level());
+        NetlistStats {
+            cells: netlist.cell_count(),
+            dffs: netlist.dff_count(),
+            inputs,
+            outputs,
+            edges: netlist.edge_count(),
+            depth,
+            kind_histogram,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cells={} dffs={} pis={} pos={} edges={} depth={}",
+            self.cells,
+            self.dffs,
+            self.inputs,
+            self.outputs,
+            self.edges,
+            self.depth.map_or("cyclic".to_owned(), |d| d.to_string()),
+        )
+    }
+}
+
+/// Renders the netlist in Graphviz DOT format.
+///
+/// # Examples
+///
+/// ```
+/// use moss_netlist::{CellKind, Netlist, to_dot};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g = nl.add_cell(CellKind::Inv, "u1", &[a])?;
+/// nl.add_output("y", g);
+/// let dot = to_dot(&nl);
+/// assert!(dot.contains("digraph"));
+/// # Ok::<(), moss_netlist::NetlistError>(())
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n  rankdir=LR;\n", netlist.name()));
+    for id in netlist.node_ids() {
+        let node = netlist.node(id);
+        let (shape, label) = match node.kind() {
+            NodeKind::PrimaryInput => ("invtriangle", node.name().to_owned()),
+            NodeKind::PrimaryOutput => ("triangle", node.name().to_owned()),
+            NodeKind::Cell(k) if k.is_sequential() => {
+                ("box", format!("{}\\n{}", node.name(), k.lib_name()))
+            }
+            NodeKind::Cell(k) => ("ellipse", format!("{}\\n{}", node.name(), k.lib_name())),
+        };
+        out.push_str(&format!(
+            "  {} [shape={shape}, label=\"{label}\"];\n",
+            id.index()
+        ));
+    }
+    for id in netlist.node_ids() {
+        for (pin, &f) in netlist.fanins(id).iter().enumerate() {
+            out.push_str(&format!(
+                "  {} -> {} [label=\"{pin}\"];\n",
+                f.index(),
+                id.index()
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_cell(CellKind::Nand2, "u1", &[a, b]).unwrap();
+        let ff = nl.add_cell(CellKind::Dff, "r0", &[g]).unwrap();
+        nl.add_output("y", ff);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.cells, 2);
+        assert_eq!(s.dffs, 1);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.depth, Some(1));
+        assert_eq!(s.kind_histogram[CellKind::Nand2.index()], 1);
+        assert_eq!(s.kind_histogram[CellKind::Dff.index()], 1);
+        assert!(s.to_string().contains("cells=2"));
+    }
+
+    #[test]
+    fn dot_mentions_every_node() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_cell(CellKind::Inv, "u1", &[a]).unwrap();
+        nl.add_output("y", g);
+        let dot = to_dot(&nl);
+        assert!(dot.contains("u1"));
+        assert!(dot.contains("INV_X1"));
+        assert!(dot.matches("->").count() == 2);
+    }
+}

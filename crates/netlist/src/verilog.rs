@@ -1,0 +1,350 @@
+//! Structural (gate-level) Verilog export and import — the interchange
+//! format a Design-Compiler-style flow writes and downstream signoff tools
+//! read. Round-tripping through this format is property-tested against the
+//! simulator.
+
+use std::collections::HashMap;
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId, NodeKind};
+
+/// Pin names per cell kind, in the same order as the netlist's fanins.
+fn pin_names(kind: CellKind) -> &'static [&'static str] {
+    if kind.is_sequential() {
+        return &["D"];
+    }
+    match kind.input_count() {
+        0 => &[],
+        1 => &["A"],
+        2 => &["A", "B"],
+        _ if kind == CellKind::Mux2 => &["A", "B", "S"],
+        _ => &["A", "B", "C"],
+    }
+}
+
+fn output_pin(kind: CellKind) -> &'static str {
+    if kind.is_sequential() {
+        "Q"
+    } else {
+        "Y"
+    }
+}
+
+/// Renders the netlist as structural Verilog.
+///
+/// # Examples
+///
+/// ```
+/// use moss_netlist::{CellKind, Netlist, write_verilog};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g = nl.add_cell(CellKind::Inv, "u1", &[a])?;
+/// nl.add_output("y", g);
+/// let v = write_verilog(&nl);
+/// assert!(v.contains("INV_X1 u1 (.A(a), .Y(n_u1));"));
+/// # Ok::<(), moss_netlist::NetlistError>(())
+/// ```
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let net_of = |id: NodeId| -> String {
+        match netlist.kind(id) {
+            NodeKind::PrimaryInput => escape(netlist.node(id).name()),
+            NodeKind::PrimaryOutput => escape(netlist.node(id).name()),
+            NodeKind::Cell(_) => format!("n_{}", escape(netlist.node(id).name())),
+        }
+    };
+    let mut out = String::new();
+    let ports: Vec<String> = netlist
+        .node_ids()
+        .filter_map(|id| match netlist.kind(id) {
+            NodeKind::PrimaryInput => Some(format!("input {}", net_of(id))),
+            NodeKind::PrimaryOutput => Some(format!("output {}", net_of(id))),
+            NodeKind::Cell(_) => None,
+        })
+        .collect();
+    out.push_str(&format!(
+        "module {} ({});\n",
+        escape(netlist.name()),
+        ports.join(", ")
+    ));
+    // Wire declarations for every cell output.
+    for id in netlist.node_ids() {
+        if matches!(netlist.kind(id), NodeKind::Cell(_)) {
+            out.push_str(&format!("  wire {};\n", net_of(id)));
+        }
+    }
+    // Instances.
+    for id in netlist.node_ids() {
+        if let NodeKind::Cell(kind) = netlist.kind(id) {
+            let mut pins: Vec<String> = netlist
+                .fanins(id)
+                .iter()
+                .zip(pin_names(kind))
+                .map(|(&f, pin)| format!(".{pin}({})", net_of(f)))
+                .collect();
+            pins.push(format!(".{}({})", output_pin(kind), net_of(id)));
+            out.push_str(&format!(
+                "  {} {} ({});\n",
+                kind.lib_name(),
+                escape(netlist.node(id).name()),
+                pins.join(", ")
+            ));
+        }
+    }
+    // Output assigns.
+    for id in netlist.primary_outputs() {
+        out.push_str(&format!(
+            "  assign {} = {};\n",
+            net_of(id),
+            net_of(netlist.fanins(id)[0])
+        ));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Parses structural Verilog produced by [`write_verilog`] (or any netlist
+/// restricted to this library's cells and named pin connections).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownNode`]-style errors wrapped in
+/// [`NetlistError`], or a parse failure description.
+pub fn parse_verilog(src: &str) -> Result<Netlist, NetlistError> {
+    let lib_by_name: HashMap<&str, CellKind> = CellKind::ALL
+        .iter()
+        .map(|&k| (k.lib_name(), k))
+        .collect();
+
+    let text = src.replace('\n', " ");
+    let Some(header_start) = text.find("module") else {
+        return Err(parse_err("missing 'module'"));
+    };
+    let after = &text[header_start + "module".len()..];
+    let Some(open) = after.find('(') else {
+        return Err(parse_err("missing port list"));
+    };
+    let name = after[..open].trim().to_owned();
+    let Some(close) = after.find(')') else {
+        return Err(parse_err("unterminated port list"));
+    };
+    let ports_str = &after[open + 1..close];
+    let body = &after[close + 1..];
+
+    let mut netlist = Netlist::new(name);
+    let mut nets: HashMap<String, NodeId> = HashMap::new();
+    let mut outputs: Vec<String> = Vec::new();
+    for p in ports_str.split(',') {
+        let p = p.trim();
+        if let Some(n) = p.strip_prefix("input ") {
+            let id = netlist.add_input(n.trim());
+            nets.insert(n.trim().to_owned(), id);
+        } else if let Some(n) = p.strip_prefix("output ") {
+            outputs.push(n.trim().to_owned());
+        } else if !p.is_empty() {
+            return Err(parse_err(format!("bad port '{p}'")));
+        }
+    }
+
+    // First pass: create all instances with placeholder fanins, recording
+    // each instance's output net. (Wires may be referenced before the
+    // driving instance appears, and DFFs form cycles.)
+    struct Pending {
+        node: NodeId,
+        kind: CellKind,
+        pins: Vec<(String, String)>,
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut assigns: Vec<(String, String)> = Vec::new();
+
+    let placeholder = netlist.add_input("__vparse_placeholder__");
+
+    for stmt in body.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt == "endmodule" || stmt.starts_with("wire ") {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("assign ") {
+            let Some((lhs, rhs)) = rest.split_once('=') else {
+                return Err(parse_err(format!("bad assign '{stmt}'")));
+            };
+            assigns.push((lhs.trim().to_owned(), rhs.trim().to_owned()));
+            continue;
+        }
+        if stmt.starts_with("endmodule") {
+            break;
+        }
+        // `CELL name ( .PIN(net), ... )`
+        let Some(open) = stmt.find('(') else {
+            return Err(parse_err(format!("bad statement '{stmt}'")));
+        };
+        let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+        let [cell_name, inst_name] = head[..] else {
+            return Err(parse_err(format!("bad instance head '{stmt}'")));
+        };
+        let Some(&kind) = lib_by_name.get(cell_name) else {
+            return Err(parse_err(format!("unknown cell '{cell_name}'")));
+        };
+        let inner = stmt[open + 1..stmt.rfind(')').unwrap_or(stmt.len())].trim();
+        let mut pins = Vec::new();
+        for conn in split_pins(inner) {
+            let conn = conn.trim().trim_start_matches('.');
+            let Some(po) = conn.find('(') else {
+                return Err(parse_err(format!("bad pin '{conn}'")));
+            };
+            let pin = conn[..po].trim().to_owned();
+            let net = conn[po + 1..conn.len() - 1].trim().to_owned();
+            pins.push((pin, net));
+        }
+        let fanins = vec![placeholder; kind.input_count()];
+        let node = netlist.add_cell(kind, inst_name, &fanins)?;
+        let out_pin = output_pin(kind);
+        if let Some((_, net)) = pins.iter().find(|(p, _)| p == out_pin) {
+            nets.insert(net.clone(), node);
+        }
+        pending.push(Pending {
+            node,
+            kind,
+            pins,
+        });
+    }
+
+    // Second pass: connect pins.
+    for p in &pending {
+        for (i, pin_name) in pin_names(p.kind).iter().enumerate() {
+            let Some((_, net)) = p.pins.iter().find(|(pn, _)| pn == pin_name) else {
+                return Err(parse_err(format!(
+                    "instance missing pin {pin_name}"
+                )));
+            };
+            let Some(&src) = nets.get(net) else {
+                return Err(parse_err(format!("undriven net '{net}'")));
+            };
+            netlist.replace_fanin(p.node, i, src)?;
+        }
+    }
+
+    // Outputs.
+    for out_name in outputs {
+        let rhs = assigns
+            .iter()
+            .find(|(lhs, _)| *lhs == out_name)
+            .map(|(_, r)| r.clone())
+            .ok_or_else(|| parse_err(format!("output '{out_name}' unassigned")))?;
+        let Some(&src) = nets.get(&rhs) else {
+            return Err(parse_err(format!("undriven net '{rhs}'")));
+        };
+        netlist.add_output(out_name, src);
+    }
+
+    // The placeholder input must end up unused.
+    if !netlist.fanouts(placeholder).is_empty() {
+        return Err(parse_err("dangling pin connections remain"));
+    }
+    Ok(netlist)
+}
+
+fn split_pins(inner: &str) -> Vec<&str> {
+    // Pin connections contain no nested commas beyond `(net)`, so a split
+    // on `,` outside parentheses suffices.
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < inner.len() {
+        out.push(&inner[start..]);
+    }
+    out
+}
+
+fn parse_err(msg: impl Into<String>) -> NetlistError {
+    NetlistError::VerilogParse {
+        message: msg.into(),
+    }
+}
+
+fn escape(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("demo");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_cell(CellKind::Nand2, "u1", &[a, b]).unwrap();
+        let ff = nl.add_cell(CellKind::Dff, "r0", &[g1]).unwrap();
+        let g2 = nl.add_cell(CellKind::Xor2, "u2", &[ff, a]).unwrap();
+        nl.add_output("y", g2);
+        nl.add_output("q", ff);
+        nl
+    }
+
+    #[test]
+    fn writes_expected_structure() {
+        let v = write_verilog(&sample());
+        assert!(v.starts_with("module demo (input a, input b, output y, output q);"));
+        assert!(v.contains("NAND2_X1 u1 (.A(a), .B(b), .Y(n_u1));"));
+        assert!(v.contains("DFF_X1 r0 (.D(n_u1), .Q(n_r0));"));
+        assert!(v.contains("assign y = n_u2;"));
+        assert!(v.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = sample();
+        let parsed = parse_verilog(&write_verilog(&original)).unwrap();
+        assert_eq!(parsed.name(), original.name());
+        assert_eq!(parsed.cell_count(), original.cell_count());
+        assert_eq!(parsed.dff_count(), original.dff_count());
+        assert_eq!(parsed.primary_inputs().len(), original.primary_inputs().len() + 1);
+        assert_eq!(parsed.primary_outputs().len(), original.primary_outputs().len());
+        assert!(parsed.validate().is_ok());
+        // Logic depth preserved.
+        let lo = crate::level::Levelization::of(&original).unwrap();
+        let lp = crate::level::Levelization::of(&parsed).unwrap();
+        assert_eq!(lo.max_level(), lp.max_level());
+    }
+
+    #[test]
+    fn dff_feedback_round_trips() {
+        let mut nl = Netlist::new("fb");
+        let en = nl.add_input("en");
+        let ff = nl.add_cell(CellKind::Dff, "q", &[en]).unwrap();
+        let inv = nl.add_cell(CellKind::Inv, "u", &[ff]).unwrap();
+        nl.replace_fanin(ff, 0, inv).unwrap();
+        nl.add_output("out", ff);
+        let parsed = parse_verilog(&write_verilog(&nl)).unwrap();
+        assert_eq!(parsed.dff_count(), 1);
+        assert!(crate::level::Levelization::of(&parsed).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_cells_and_bad_nets() {
+        assert!(parse_verilog("module m (input a); FOO_X1 u (.A(a), .Y(n)); endmodule").is_err());
+        assert!(parse_verilog("module m (input a, output y); assign y = ghost; endmodule").is_err());
+        assert!(parse_verilog("no module here").is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # moss-power
+//!
+//! Activity-based power estimation for the MOSS reproduction — the stand-in
+//! for Synopsys PrimePower: per-cell dynamic power from simulated toggle
+//! rates plus library leakage (paper §V-A). The circuit-level total is the
+//! supervision signal for the power-prediction (PP) task in Table I.
+//!
+//! ## Example
+//!
+//! ```
+//! use moss_netlist::{CellKind, CellLibrary, Netlist};
+//! use moss_power::PowerReport;
+//! use moss_sim::toggle_rates;
+//!
+//! let mut nl = Netlist::new("t");
+//! let a = nl.add_input("a");
+//! let g = nl.add_cell(CellKind::Inv, "u1", &[a])?;
+//! nl.add_output("y", g);
+//! let toggles = toggle_rates(&nl, &[], 1_000, 7)?;
+//! let power = PowerReport::estimate(&nl, &CellLibrary::default(), &toggles, 500.0);
+//! assert!(power.total_nw() > 0.0);
+//! # Ok::<(), moss_netlist::NetlistError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod power;
+
+pub use power::{total_area_um2, PowerReport};

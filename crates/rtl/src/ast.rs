@@ -1,0 +1,449 @@
+//! Abstract syntax for the mini-RTL language.
+//!
+//! The language is a small synthesizable Verilog subset: modules with
+//! input/output ports, wires, registers, continuous assignments, and
+//! single-clock `always @(posedge clk)` register updates. Buses are up to 64
+//! bits wide, which comfortably covers the paper's benchmark set (the widest
+//! is the 16×32→48 multiplier).
+
+use std::fmt;
+
+/// Identifier of a signal within one [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    /// Creates an id from a raw index.
+    pub fn new(index: usize) -> SignalId {
+        SignalId(index as u32)
+    }
+
+    /// The dense index of this signal.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Role of a signal in the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Module input port.
+    Input,
+    /// Module output port (driven by an assign or a register).
+    Output,
+    /// Internal wire (driven by an assign).
+    Wire,
+    /// Register: state element updated at the clock edge.
+    Reg,
+}
+
+/// A declared signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    /// Signal name.
+    pub name: String,
+    /// Bit width, 1..=64.
+    pub width: u32,
+    /// Role.
+    pub kind: SignalKind,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise complement `~`.
+    Not,
+    /// Reduction XOR `^` (parity), yields 1 bit.
+    ReduceXor,
+    /// Reduction OR `|`, yields 1 bit.
+    ReduceOr,
+    /// Reduction AND `&`, yields 1 bit.
+    ReduceAnd,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Wrapping addition; result width is `max(lhs, rhs)`.
+    Add,
+    /// Wrapping subtraction; result width is `max(lhs, rhs)`.
+    Sub,
+    /// Multiplication; result width is `min(64, lhs + rhs)`.
+    Mul,
+    /// Equality; 1 bit.
+    Eq,
+    /// Inequality; 1 bit.
+    Ne,
+    /// Unsigned less-than; 1 bit.
+    Lt,
+    /// Unsigned greater-than; 1 bit.
+    Gt,
+    /// Shift left by a constant; result width of lhs.
+    Shl,
+    /// Logical shift right by a constant; result width of lhs.
+    Shr,
+}
+
+impl BinOp {
+    /// The operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// An RTL expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A sized constant.
+    Const {
+        /// Value, already masked to `width` bits.
+        value: u64,
+        /// Width in bits.
+        width: u32,
+    },
+    /// A whole-signal reference.
+    Var(SignalId),
+    /// A single-bit select `sig[bit]`.
+    Index(SignalId, u32),
+    /// A part select `sig[hi:lo]`.
+    Slice(SignalId, u32, u32),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A conditional `cond ? then : else`.
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A concatenation `{a, b, ...}` (first element is most significant).
+    Concat(Vec<Expr>),
+}
+
+impl Expr {
+    /// Builds a sized constant, masking `value` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn constant(value: u64, width: u32) -> Expr {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        Expr::Const {
+            value: mask(value, width),
+            width,
+        }
+    }
+
+    /// The width of this expression, given the module's signal table.
+    pub fn width(&self, module: &Module) -> u32 {
+        match self {
+            Expr::Const { width, .. } => *width,
+            Expr::Var(s) => module.signal(*s).width,
+            Expr::Index(..) => 1,
+            Expr::Slice(_, hi, lo) => hi - lo + 1,
+            Expr::Unary(UnaryOp::Not, e) => e.width(module),
+            Expr::Unary(_, _) => 1,
+            Expr::Binary(op, l, r) => match op {
+                BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Sub => {
+                    l.width(module).max(r.width(module))
+                }
+                BinOp::Mul => (l.width(module) + r.width(module)).min(64),
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt => 1,
+                BinOp::Shl | BinOp::Shr => l.width(module),
+            },
+            Expr::Mux(_, t, e) => t.width(module).max(e.width(module)),
+            Expr::Concat(parts) => parts.iter().map(|p| p.width(module)).sum::<u32>().min(64),
+        }
+    }
+
+    /// All signals read by this expression, in first-appearance order.
+    pub fn reads(&self) -> Vec<SignalId> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<SignalId>) {
+        match self {
+            Expr::Const { .. } => {}
+            Expr::Var(s) | Expr::Index(s, _) | Expr::Slice(s, _, _) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            Expr::Unary(_, e) => e.collect_reads(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_reads(out);
+                r.collect_reads(out);
+            }
+            Expr::Mux(c, t, e) => {
+                c.collect_reads(out);
+                t.collect_reads(out);
+                e.collect_reads(out);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.collect_reads(out);
+                }
+            }
+        }
+    }
+}
+
+/// A continuous assignment `assign target = expr;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// The driven wire or output.
+    pub target: SignalId,
+    /// The driving expression.
+    pub expr: Expr,
+}
+
+/// A clocked register update `always @(posedge clk) target <= expr;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegUpdate {
+    /// The register being updated.
+    pub target: SignalId,
+    /// The next-state expression, evaluated on current-cycle values.
+    pub expr: Expr,
+    /// Reset value applied at time zero.
+    pub reset_value: u64,
+}
+
+/// A hardware module: the compilation unit of the mini-RTL language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    name: String,
+    signals: Vec<Signal>,
+    assigns: Vec<Assign>,
+    reg_updates: Vec<RegUpdate>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            signals: Vec::new(),
+            assigns: Vec::new(),
+            reg_updates: Vec::new(),
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`.
+    pub fn add_signal(
+        &mut self,
+        name: impl Into<String>,
+        width: u32,
+        kind: SignalKind,
+    ) -> SignalId {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        let id = SignalId::new(self.signals.len());
+        self.signals.push(Signal {
+            name: name.into(),
+            width,
+            kind,
+        });
+        id
+    }
+
+    /// Adds a continuous assignment.
+    pub fn add_assign(&mut self, target: SignalId, expr: Expr) {
+        self.assigns.push(Assign { target, expr });
+    }
+
+    /// Adds a clocked register update with reset value 0.
+    pub fn add_reg_update(&mut self, target: SignalId, expr: Expr) {
+        self.add_reg_update_with_reset(target, expr, 0);
+    }
+
+    /// Adds a clocked register update with an explicit reset value.
+    pub fn add_reg_update_with_reset(&mut self, target: SignalId, expr: Expr, reset_value: u64) {
+        let width = self.signal(target).width;
+        self.reg_updates.push(RegUpdate {
+            target,
+            expr,
+            reset_value: mask(reset_value, width),
+        });
+    }
+
+    /// The signal table.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// One signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn signal(&self, id: SignalId) -> &Signal {
+        &self.signals[id.index()]
+    }
+
+    /// All continuous assignments.
+    pub fn assigns(&self) -> &[Assign] {
+        &self.assigns
+    }
+
+    /// All register updates.
+    pub fn reg_updates(&self) -> &[RegUpdate] {
+        &self.reg_updates
+    }
+
+    /// Ids of input ports, in declaration order.
+    pub fn inputs(&self) -> Vec<SignalId> {
+        self.ids_of(SignalKind::Input)
+    }
+
+    /// Ids of output ports, in declaration order.
+    pub fn outputs(&self) -> Vec<SignalId> {
+        self.ids_of(SignalKind::Output)
+    }
+
+    /// Ids of registers, in declaration order.
+    pub fn registers(&self) -> Vec<SignalId> {
+        self.ids_of(SignalKind::Reg)
+    }
+
+    fn ids_of(&self, kind: SignalKind) -> Vec<SignalId> {
+        self.signals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind)
+            .map(|(i, _)| SignalId::new(i))
+            .collect()
+    }
+
+    /// Looks a signal up by name.
+    pub fn find(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(SignalId::new)
+    }
+
+    /// Total state bits (sum of register widths).
+    pub fn state_bits(&self) -> u32 {
+        self.registers()
+            .iter()
+            .map(|&r| self.signal(r).width)
+            .sum()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::print_module(self))
+    }
+}
+
+/// Masks `value` to the low `width` bits.
+pub fn mask(value: u64, width: u32) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> Module {
+        let mut m = Module::new("counter");
+        let _clk = m.add_signal("clk", 1, SignalKind::Input);
+        let q = m.add_signal("q", 8, SignalKind::Reg);
+        let out = m.add_signal("count", 8, SignalKind::Output);
+        m.add_reg_update(
+            q,
+            Expr::Binary(BinOp::Add, Box::new(Expr::Var(q)), Box::new(Expr::constant(1, 8))),
+        );
+        m.add_assign(out, Expr::Var(q));
+        m
+    }
+
+    #[test]
+    fn widths_infer_correctly() {
+        let m = counter();
+        let q = m.find("q").unwrap();
+        assert_eq!(Expr::Var(q).width(&m), 8);
+        assert_eq!(Expr::Index(q, 3).width(&m), 1);
+        assert_eq!(Expr::Slice(q, 7, 4).width(&m), 4);
+        let mul = Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::Var(q)),
+            Box::new(Expr::Var(q)),
+        );
+        assert_eq!(mul.width(&m), 16);
+        let cmp = Expr::Binary(BinOp::Lt, Box::new(Expr::Var(q)), Box::new(Expr::Var(q)));
+        assert_eq!(cmp.width(&m), 1);
+    }
+
+    #[test]
+    fn mul_width_caps_at_64() {
+        let mut m = Module::new("w");
+        let a = m.add_signal("a", 40, SignalKind::Input);
+        let b = m.add_signal("b", 40, SignalKind::Input);
+        let mul = Expr::Binary(BinOp::Mul, Box::new(Expr::Var(a)), Box::new(Expr::Var(b)));
+        assert_eq!(mul.width(&m), 64);
+    }
+
+    #[test]
+    fn reads_deduplicate() {
+        let m = counter();
+        let q = m.find("q").unwrap();
+        let e = Expr::Binary(BinOp::Xor, Box::new(Expr::Var(q)), Box::new(Expr::Var(q)));
+        assert_eq!(e.reads(), vec![q]);
+    }
+
+    #[test]
+    fn constant_masks() {
+        let c = Expr::constant(0x1ff, 8);
+        assert_eq!(c, Expr::Const { value: 0xff, width: 8 });
+    }
+
+    #[test]
+    fn signal_queries() {
+        let m = counter();
+        assert_eq!(m.inputs().len(), 1);
+        assert_eq!(m.outputs().len(), 1);
+        assert_eq!(m.registers().len(), 1);
+        assert_eq!(m.state_bits(), 8);
+        assert!(m.find("count").is_some());
+        assert!(m.find("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let mut m = Module::new("w");
+        m.add_signal("x", 0, SignalKind::Wire);
+    }
+}

@@ -1,0 +1,212 @@
+//! Register-description prompts and module summaries (paper Fig. 3a).
+//!
+//! For each DFF's corresponding RTL register, MOSS generates a *Register
+//! Description Prompt*: text that "describes the context and functionality
+//! of each DFF, capturing both local and global functional relationships".
+//! These texts are what the fine-tuned LLM embeds to enhance DFF node
+//! features; the whole-module summary feeds the global RTL embedding used by
+//! the alignment losses.
+
+use crate::ast::{Module, SignalId, SignalKind};
+use crate::printer::print_expr;
+
+/// A register's descriptive context extracted from the RTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterDescription {
+    /// The register signal.
+    pub signal: SignalId,
+    /// The register name.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// The generated prompt text.
+    pub prompt: String,
+}
+
+/// Generates a description prompt for every register in `module`.
+///
+/// # Examples
+///
+/// ```
+/// let m = moss_rtl::parse(
+///     "module c(input clk, output [3:0] q);
+///        reg [3:0] s = 0;
+///        always @(posedge clk) s <= s + 4'd1;
+///        assign q = s;
+///      endmodule")?;
+/// let descs = moss_rtl::describe_registers(&m);
+/// assert_eq!(descs.len(), 1);
+/// assert!(descs[0].prompt.contains("register s"));
+/// # Ok::<(), moss_rtl::RtlError>(())
+/// ```
+pub fn describe_registers(module: &Module) -> Vec<RegisterDescription> {
+    module
+        .registers()
+        .into_iter()
+        .map(|reg| {
+            let sig = module.signal(reg);
+            let update = module
+                .reg_updates()
+                .iter()
+                .find(|u| u.target == reg)
+                .map(|u| print_expr(module, &u.expr))
+                .unwrap_or_else(|| "undriven".to_owned());
+
+            let feeds: Vec<&str> = module
+                .assigns()
+                .iter()
+                .filter(|a| a.expr.reads().contains(&reg))
+                .map(|a| module.signal(a.target).name.as_str())
+                .collect();
+            let feeds_regs: Vec<&str> = module
+                .reg_updates()
+                .iter()
+                .filter(|u| u.target != reg && u.expr.reads().contains(&reg))
+                .map(|u| module.signal(u.target).name.as_str())
+                .collect();
+
+            let sources: Vec<String> = module
+                .reg_updates()
+                .iter()
+                .find(|u| u.target == reg)
+                .map(|u| {
+                    u.expr
+                        .reads()
+                        .into_iter()
+                        .filter(|&r| r != reg)
+                        .map(|r| {
+                            let s = module.signal(r);
+                            let role = match s.kind {
+                                SignalKind::Input => "input",
+                                SignalKind::Reg => "register",
+                                _ => "signal",
+                            };
+                            format!("{role} {}", s.name)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+
+            let mut prompt = format!(
+                "in module {module_name} register {name} is a {width} bit state element updated every clock cycle with {update}",
+                module_name = module.name(),
+                name = sig.name,
+                width = sig.width,
+            );
+            if !sources.is_empty() {
+                prompt.push_str(&format!(" ; it depends on {}", sources.join(" and ")));
+            }
+            if !feeds.is_empty() {
+                prompt.push_str(&format!(" ; it drives signals {}", feeds.join(" and ")));
+            }
+            if !feeds_regs.is_empty() {
+                prompt.push_str(&format!(" ; it feeds registers {}", feeds_regs.join(" and ")));
+            }
+            RegisterDescription {
+                signal: reg,
+                name: sig.name.clone(),
+                width: sig.width,
+                prompt,
+            }
+        })
+        .collect()
+}
+
+/// A whole-module functional summary, combining the interface, state
+/// elements, and dataflow. Feeds the global RTL embedding (paper Fig. 2C).
+pub fn module_summary(module: &Module) -> String {
+    let inputs: Vec<String> = module
+        .inputs()
+        .iter()
+        .map(|&i| {
+            let s = module.signal(i);
+            format!("{} ({} bits)", s.name, s.width)
+        })
+        .collect();
+    let outputs: Vec<String> = module
+        .outputs()
+        .iter()
+        .map(|&i| {
+            let s = module.signal(i);
+            format!("{} ({} bits)", s.name, s.width)
+        })
+        .collect();
+    let mut out = format!(
+        "module {} has inputs {} and outputs {} with {} state bits across {} registers.",
+        module.name(),
+        if inputs.is_empty() { "none".to_owned() } else { inputs.join(", ") },
+        if outputs.is_empty() { "none".to_owned() } else { outputs.join(", ") },
+        module.state_bits(),
+        module.registers().len(),
+    );
+    for a in module.assigns() {
+        out.push_str(&format!(
+            " signal {} computes {}.",
+            module.signal(a.target).name,
+            print_expr(module, &a.expr)
+        ));
+    }
+    for u in module.reg_updates() {
+        out.push_str(&format!(
+            " register {} captures {}.",
+            module.signal(u.target).name,
+            print_expr(module, &u.expr)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn pipeline() -> Module {
+        parse(
+            "module pipe(input clk, input [3:0] d, output [3:0] q);
+               reg [3:0] s0; reg [3:0] s1;
+               always @(posedge clk) begin
+                 s0 <= d;
+                 s1 <= s0;
+               end
+               assign q = s1;
+             endmodule",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_description_per_register() {
+        let m = pipeline();
+        let d = describe_registers(&m);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].name, "s0");
+        assert_eq!(d[1].name, "s1");
+    }
+
+    #[test]
+    fn descriptions_capture_dataflow() {
+        let m = pipeline();
+        let d = describe_registers(&m);
+        // s0 depends on input d and feeds register s1.
+        assert!(d[0].prompt.contains("depends on input d"));
+        assert!(d[0].prompt.contains("feeds registers s1"));
+        // s1 drives output q.
+        assert!(d[1].prompt.contains("drives signals q"));
+    }
+
+    #[test]
+    fn summary_mentions_interface_and_state() {
+        let m = pipeline();
+        let s = module_summary(&m);
+        assert!(s.contains("module pipe"));
+        assert!(s.contains("8 state bits"));
+        assert!(s.contains("register s0 captures d"));
+    }
+
+    #[test]
+    fn descriptions_are_deterministic() {
+        let m = pipeline();
+        assert_eq!(describe_registers(&m), describe_registers(&m));
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the mini-RTL frontend and interpreter.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from lexing, parsing, or evaluating mini-RTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// Lexical error at a source line.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// Parse error at a source line.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// An expression referenced an undeclared signal.
+    UnknownSignal {
+        /// The name used.
+        name: String,
+    },
+    /// A wire or output has no driver, or is driven twice.
+    BadDriver {
+        /// Signal name.
+        name: String,
+        /// Number of drivers found.
+        drivers: usize,
+    },
+    /// Combinational assignments form a cycle.
+    CombinationalCycle {
+        /// Signal on the cycle.
+        name: String,
+    },
+    /// A bit index or slice is out of the signal's range.
+    RangeOutOfBounds {
+        /// Signal name.
+        name: String,
+        /// High bit requested.
+        hi: u32,
+        /// Signal width.
+        width: u32,
+    },
+}
+
+impl RtlError {
+    pub(crate) fn lex(line: u32, message: impl Into<String>) -> RtlError {
+        RtlError::Lex {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(line: u32, message: impl Into<String>) -> RtlError {
+        RtlError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            RtlError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            RtlError::UnknownSignal { name } => write!(f, "unknown signal '{name}'"),
+            RtlError::BadDriver { name, drivers } => {
+                write!(f, "signal '{name}' has {drivers} drivers, expected exactly 1")
+            }
+            RtlError::CombinationalCycle { name } => {
+                write!(f, "combinational cycle through signal '{name}'")
+            }
+            RtlError::RangeOutOfBounds { name, hi, width } => {
+                write!(f, "bit {hi} out of range for '{name}' of width {width}")
+            }
+        }
+    }
+}
+
+impl Error for RtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<RtlError>();
+    }
+
+    #[test]
+    fn display_mentions_line() {
+        let e = RtlError::parse(7, "expected ';'");
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,428 @@
+//! Cycle-accurate word-level interpreter for mini-RTL modules.
+//!
+//! This is the *reference semantics* of the language: the synthesis property
+//! tests check that a synthesized netlist, simulated gate-by-gate, matches
+//! this interpreter bit-for-bit on random stimulus. It is also how
+//! functional-equivalence ground truth for the paper's FEP task (Table II)
+//! is established.
+
+use crate::ast::{mask, BinOp, Expr, Module, SignalId, SignalKind, UnaryOp};
+use crate::error::RtlError;
+
+/// A validated, executable module.
+///
+/// # Examples
+///
+/// ```
+/// let m = moss_rtl::parse(
+///     "module counter(input clk, output [7:0] count);
+///        reg [7:0] q = 0;
+///        always @(posedge clk) q <= q + 8'd1;
+///        assign count = q;
+///      endmodule")?;
+/// let mut interp = moss_rtl::Interpreter::new(&m)?;
+/// let count = m.find("count").unwrap();
+/// interp.step(&[]);
+/// interp.step(&[]);
+/// assert_eq!(interp.peek(count), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    module: Module,
+    values: Vec<u64>,
+    /// Assign indices in dependency order.
+    assign_order: Vec<usize>,
+}
+
+impl Interpreter {
+    /// Validates drivers and combinational acyclicity, then builds an
+    /// interpreter with all registers at their reset values.
+    ///
+    /// # Errors
+    ///
+    /// - [`RtlError::BadDriver`] if a wire/output is driven zero or multiple
+    ///   times, or a register has zero or multiple updates;
+    /// - [`RtlError::CombinationalCycle`] if assigns form a cycle.
+    pub fn new(module: &Module) -> Result<Interpreter, RtlError> {
+        // Driver counts.
+        for (i, s) in module.signals().iter().enumerate() {
+            let id = SignalId::new(i);
+            match s.kind {
+                SignalKind::Wire | SignalKind::Output => {
+                    let drivers = module.assigns().iter().filter(|a| a.target == id).count();
+                    if drivers != 1 {
+                        return Err(RtlError::BadDriver {
+                            name: s.name.clone(),
+                            drivers,
+                        });
+                    }
+                }
+                SignalKind::Reg => {
+                    let drivers = module
+                        .reg_updates()
+                        .iter()
+                        .filter(|u| u.target == id)
+                        .count();
+                    if drivers != 1 {
+                        return Err(RtlError::BadDriver {
+                            name: s.name.clone(),
+                            drivers,
+                        });
+                    }
+                }
+                SignalKind::Input => {}
+            }
+        }
+
+        // Topologically order assigns: an assign is ready once every wire/
+        // output it reads has been produced. Inputs and regs are sources.
+        let n_assigns = module.assigns().len();
+        let mut produced = vec![false; module.signals().len()];
+        for (i, s) in module.signals().iter().enumerate() {
+            if matches!(s.kind, SignalKind::Input | SignalKind::Reg) {
+                produced[i] = true;
+            }
+        }
+        let mut order = Vec::with_capacity(n_assigns);
+        let mut done = vec![false; n_assigns];
+        loop {
+            let mut progressed = false;
+            for (i, a) in module.assigns().iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                if a.expr.reads().iter().all(|r| produced[r.index()]) {
+                    produced[a.target.index()] = true;
+                    done[i] = true;
+                    order.push(i);
+                    progressed = true;
+                }
+            }
+            if order.len() == n_assigns {
+                break;
+            }
+            if !progressed {
+                let stuck = module.assigns().iter().enumerate().find(|(i, _)| !done[*i]);
+                let name = stuck
+                    .map(|(_, a)| module.signal(a.target).name.clone())
+                    .unwrap_or_default();
+                return Err(RtlError::CombinationalCycle { name });
+            }
+        }
+
+        let mut interp = Interpreter {
+            module: module.clone(),
+            values: vec![0; module.signals().len()],
+            assign_order: order,
+        };
+        interp.reset();
+        Ok(interp)
+    }
+
+    /// The module being interpreted.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Resets all registers to their reset values and clears other signals.
+    pub fn reset(&mut self) {
+        self.values.fill(0);
+        for u in self.module.reg_updates() {
+            self.values[u.target.index()] = u.reset_value;
+        }
+        self.settle();
+    }
+
+    /// Sets a primary input (masked to the signal width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an input.
+    pub fn set_input(&mut self, id: SignalId, value: u64) {
+        let s = self.module.signal(id);
+        assert_eq!(s.kind, SignalKind::Input, "{} is not an input", s.name);
+        self.values[id.index()] = mask(value, s.width);
+    }
+
+    /// Current value of any signal.
+    pub fn peek(&self, id: SignalId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// Re-evaluates combinational logic for the current inputs/state without
+    /// advancing the clock.
+    pub fn settle(&mut self) {
+        for &i in &self.assign_order.clone() {
+            let a = &self.module.assigns()[i];
+            let w = self.module.signal(a.target).width;
+            let v = self.eval(&a.expr);
+            self.values[a.target.index()] = mask(v, w);
+        }
+    }
+
+    /// Applies `inputs`, settles combinational logic, then advances one clock
+    /// edge (registers capture their next-state expressions simultaneously),
+    /// and settles again.
+    pub fn step(&mut self, inputs: &[(SignalId, u64)]) {
+        for &(id, v) in inputs {
+            self.set_input(id, v);
+        }
+        self.settle();
+        let next: Vec<(SignalId, u64)> = self
+            .module
+            .reg_updates()
+            .iter()
+            .map(|u| {
+                let w = self.module.signal(u.target).width;
+                (u.target, mask(self.eval(&u.expr), w))
+            })
+            .collect();
+        for (id, v) in next {
+            self.values[id.index()] = v;
+        }
+        self.settle();
+    }
+
+    /// Values of all outputs, in declaration order.
+    pub fn outputs(&self) -> Vec<u64> {
+        self.module
+            .outputs()
+            .into_iter()
+            .map(|o| self.peek(o))
+            .collect()
+    }
+
+    fn eval(&self, expr: &Expr) -> u64 {
+        match expr {
+            Expr::Const { value, .. } => *value,
+            Expr::Var(s) => self.values[s.index()],
+            Expr::Index(s, i) => (self.values[s.index()] >> i) & 1,
+            Expr::Slice(s, hi, lo) => mask(self.values[s.index()] >> lo, hi - lo + 1),
+            Expr::Unary(op, e) => {
+                let w = e.width(&self.module);
+                let v = mask(self.eval(e), w);
+                match op {
+                    UnaryOp::Not => mask(!v, w),
+                    UnaryOp::ReduceXor => (v.count_ones() & 1) as u64,
+                    UnaryOp::ReduceOr => (v != 0) as u64,
+                    UnaryOp::ReduceAnd => (v == mask(u64::MAX, w)) as u64,
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                let wl = l.width(&self.module);
+                let wr = r.width(&self.module);
+                let a = mask(self.eval(l), wl);
+                let b = mask(self.eval(r), wr);
+                let w = expr.width(&self.module);
+                match op {
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Add => mask(a.wrapping_add(b), w),
+                    BinOp::Sub => mask(a.wrapping_sub(b), w),
+                    BinOp::Mul => mask(a.wrapping_mul(b), w),
+                    BinOp::Eq => (a == b) as u64,
+                    BinOp::Ne => (a != b) as u64,
+                    BinOp::Lt => (a < b) as u64,
+                    BinOp::Gt => (a > b) as u64,
+                    BinOp::Shl => {
+                        if b >= 64 {
+                            0
+                        } else {
+                            mask(a << b, w)
+                        }
+                    }
+                    BinOp::Shr => {
+                        if b >= 64 {
+                            0
+                        } else {
+                            a >> b
+                        }
+                    }
+                }
+            }
+            Expr::Mux(c, t, e) => {
+                if self.eval(c) & 1 == 1 {
+                    let w = t.width(&self.module);
+                    mask(self.eval(t), w)
+                } else {
+                    let w = e.width(&self.module);
+                    mask(self.eval(e), w)
+                }
+            }
+            Expr::Concat(parts) => {
+                let mut acc = 0u64;
+                for p in parts {
+                    let w = p.width(&self.module);
+                    acc = (acc << w) | mask(self.eval(p), w);
+                }
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn interp(src: &str) -> Interpreter {
+        Interpreter::new(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut it = interp(
+            "module c(input clk, output [3:0] q);
+               reg [3:0] s = 0;
+               always @(posedge clk) s <= s + 4'd1;
+               assign q = s;
+             endmodule",
+        );
+        let q = it.module().find("q").unwrap();
+        for expected in 1..=20u64 {
+            it.step(&[]);
+            assert_eq!(it.peek(q), expected % 16);
+        }
+    }
+
+    #[test]
+    fn adder_adds() {
+        let mut it = interp(
+            "module a(input [7:0] x, input [7:0] y, output [8:0] s);
+               wire [8:0] t;
+               assign t = {1'b0, x} + {1'b0, y};
+               assign s = t;
+             endmodule",
+        );
+        let x = it.module().find("x").unwrap();
+        let y = it.module().find("y").unwrap();
+        let s = it.module().find("s").unwrap();
+        it.set_input(x, 200);
+        it.set_input(y, 100);
+        it.settle();
+        assert_eq!(it.peek(s), 300);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut it = interp(
+            "module m(input sel, input [3:0] a, input [3:0] b, output [3:0] y);
+               assign y = sel ? a : b;
+             endmodule",
+        );
+        let (sel, a, b, y) = (
+            it.module().find("sel").unwrap(),
+            it.module().find("a").unwrap(),
+            it.module().find("b").unwrap(),
+            it.module().find("y").unwrap(),
+        );
+        it.set_input(a, 7);
+        it.set_input(b, 12);
+        it.set_input(sel, 1);
+        it.settle();
+        assert_eq!(it.peek(y), 7);
+        it.set_input(sel, 0);
+        it.settle();
+        assert_eq!(it.peek(y), 12);
+    }
+
+    #[test]
+    fn shift_register_delays() {
+        let mut it = interp(
+            "module sr(input clk, input d, output q);
+               reg r0; reg r1; reg r2;
+               always @(posedge clk) begin
+                 r0 <= d; r1 <= r0; r2 <= r1;
+               end
+               assign q = r2;
+             endmodule",
+        );
+        let d = it.module().find("d").unwrap();
+        let q = it.module().find("q").unwrap();
+        it.step(&[(d, 1)]);
+        it.step(&[(d, 0)]);
+        it.step(&[(d, 0)]);
+        assert_eq!(it.peek(q), 1, "pulse appears after 3 cycles");
+        it.step(&[(d, 0)]);
+        assert_eq!(it.peek(q), 0);
+    }
+
+    #[test]
+    fn reduction_ops() {
+        let mut it = interp(
+            "module r(input [3:0] a, output px, output po, output pa);
+               assign px = ^a;
+               assign po = |a;
+               assign pa = &a;
+             endmodule",
+        );
+        let a = it.module().find("a").unwrap();
+        it.set_input(a, 0b1011);
+        it.settle();
+        assert_eq!(it.peek(it.module().find("px").unwrap()), 1);
+        assert_eq!(it.peek(it.module().find("po").unwrap()), 1);
+        assert_eq!(it.peek(it.module().find("pa").unwrap()), 0);
+        it.set_input(a, 0b1111);
+        it.settle();
+        assert_eq!(it.peek(it.module().find("pa").unwrap()), 1);
+    }
+
+    #[test]
+    fn reset_value_respected() {
+        let it = interp(
+            "module r(input clk, output [7:0] q);
+               reg [7:0] s = 42;
+               always @(posedge clk) s <= s;
+               assign q = s;
+             endmodule",
+        );
+        assert_eq!(it.peek(it.module().find("q").unwrap()), 42);
+    }
+
+    #[test]
+    fn unconnected_wire_rejected() {
+        let m = parse(
+            "module b(input a, output y);
+               wire t;
+               assign y = t & a;
+             endmodule",
+        )
+        .unwrap();
+        let err = Interpreter::new(&m).unwrap_err();
+        assert!(matches!(err, RtlError::BadDriver { drivers: 0, .. }));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let m = parse(
+            "module b(input a, output y);
+               wire t; wire u;
+               assign t = u & a;
+               assign u = t | a;
+               assign y = u;
+             endmodule",
+        )
+        .unwrap();
+        let err = Interpreter::new(&m).unwrap_err();
+        assert!(matches!(err, RtlError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn multiplication_widths() {
+        let mut it = interp(
+            "module m(input [15:0] a, input [31:0] b, output [47:0] p);
+               assign p = a * b;
+             endmodule",
+        );
+        let a = it.module().find("a").unwrap();
+        let b = it.module().find("b").unwrap();
+        let p = it.module().find("p").unwrap();
+        it.set_input(a, 0xffff);
+        it.set_input(b, 0xffff_ffff);
+        it.settle();
+        assert_eq!(it.peek(p), 0xffffu64 * 0xffff_ffffu64);
+    }
+}

@@ -1,0 +1,571 @@
+//! Recursive-descent parser for the mini-RTL language.
+//!
+//! Grammar (Verilog subset):
+//!
+//! ```text
+//! module    := 'module' ident '(' port (',' port)* ')' ';' item* 'endmodule'
+//! port      := ('input'|'output') range? ident
+//! item      := ('wire'|'reg') range? ident ('=' number)? ';'
+//!            | 'assign' ident '=' expr ';'
+//!            | 'always' '@' '(' 'posedge' ident ')' stmt
+//! stmt      := ident '<=' expr ';'
+//!            | 'begin' (ident '<=' expr ';')* 'end'
+//! range     := '[' number ':' number ']'
+//! expr      := ternary with C-like precedence; primaries are numbers,
+//!              identifiers with optional bit/part selects, parenthesized
+//!              expressions and '{' concatenations '}'
+//! ```
+
+use crate::ast::{BinOp, Expr, Module, SignalId, SignalKind, UnaryOp};
+use crate::error::RtlError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses mini-RTL source into a [`Module`].
+///
+/// # Errors
+///
+/// Returns an [`RtlError`] on malformed syntax or references to undeclared
+/// signals. Forward references to signals declared later in the module are
+/// allowed (declarations are pre-scanned).
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     module counter(input clk, output [7:0] count);
+///       reg [7:0] q = 0;
+///       always @(posedge clk) q <= q + 8'd1;
+///       assign count = q;
+///     endmodule
+/// "#;
+/// let module = moss_rtl::parse(src)?;
+/// assert_eq!(module.name(), "counter");
+/// assert_eq!(module.registers().len(), 1);
+/// # Ok::<(), moss_rtl::RtlError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Module, RtlError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).parse_module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), RtlError> {
+        match self.peek() {
+            TokenKind::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(RtlError::parse(
+                self.line(),
+                format!("expected '{p}', found {other:?}"),
+            )),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), RtlError> {
+        match self.peek() {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(RtlError::parse(
+                self.line(),
+                format!("expected '{kw}', found {other:?}"),
+            )),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, RtlError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(RtlError::parse(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn eat_number(&mut self) -> Result<u64, RtlError> {
+        match self.bump() {
+            TokenKind::Number(v, _) => Ok(v),
+            other => Err(RtlError::parse(
+                self.line(),
+                format!("expected number, found {other:?}"),
+            )),
+        }
+    }
+
+    /// `[hi:lo]` → width, or 1 if absent.
+    fn parse_range(&mut self) -> Result<u32, RtlError> {
+        if !self.try_punct("[") {
+            return Ok(1);
+        }
+        let hi = self.eat_number()?;
+        self.eat_punct(":")?;
+        let lo = self.eat_number()?;
+        self.eat_punct("]")?;
+        if lo != 0 || hi >= 64 {
+            return Err(RtlError::parse(
+                self.line(),
+                format!("only [N:0] ranges with N<64 supported, got [{hi}:{lo}]"),
+            ));
+        }
+        Ok(hi as u32 + 1)
+    }
+
+    fn parse_module(&mut self) -> Result<Module, RtlError> {
+        self.eat_keyword("module")?;
+        let name = self.eat_ident()?;
+        let mut module = Module::new(name);
+
+        // Ports.
+        self.eat_punct("(")?;
+        if !self.try_punct(")") {
+            loop {
+                let kind = if self.try_keyword("input") {
+                    SignalKind::Input
+                } else if self.try_keyword("output") {
+                    SignalKind::Output
+                } else {
+                    return Err(RtlError::parse(self.line(), "expected 'input' or 'output'"));
+                };
+                let width = self.parse_range()?;
+                let pname = self.eat_ident()?;
+                module.add_signal(pname, width, kind);
+                if self.try_punct(")") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+        }
+        self.eat_punct(";")?;
+
+        // Pre-scan the remaining tokens for wire/reg declarations so that
+        // assigns may reference signals declared later in the module.
+        self.prescan_decls(&mut module)?;
+
+        // Body.
+        let mut resets: Vec<(SignalId, u64)> = Vec::new();
+        loop {
+            if self.try_keyword("endmodule") {
+                break;
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(RtlError::parse(self.line(), "missing 'endmodule'"));
+            }
+            if self.try_keyword("wire") || self.try_keyword("reg") {
+                // Already declared by the pre-scan; just consume (including
+                // an optional `= number` initializer on regs).
+                let _ = self.parse_range()?;
+                let name = self.eat_ident()?;
+                if self.try_punct("=") {
+                    let v = self.eat_number()?;
+                    let id = module.find(&name).expect("prescan declared it");
+                    resets.push((id, v));
+                }
+                self.eat_punct(";")?;
+                continue;
+            }
+            if self.try_keyword("assign") {
+                let tname = self.eat_ident()?;
+                let target = module
+                    .find(&tname)
+                    .ok_or_else(|| RtlError::UnknownSignal { name: tname.clone() })?;
+                self.eat_punct("=")?;
+                let expr = self.parse_expr(&module)?;
+                self.eat_punct(";")?;
+                module.add_assign(target, expr);
+                continue;
+            }
+            if self.try_keyword("always") {
+                self.eat_punct("@")?;
+                self.eat_punct("(")?;
+                self.eat_keyword("posedge")?;
+                let _clk = self.eat_ident()?;
+                self.eat_punct(")")?;
+                let multi = self.try_keyword("begin");
+                loop {
+                    let tname = self.eat_ident()?;
+                    let target = module
+                        .find(&tname)
+                        .ok_or_else(|| RtlError::UnknownSignal { name: tname.clone() })?;
+                    self.eat_punct("<=")?;
+                    let expr = self.parse_expr(&module)?;
+                    self.eat_punct(";")?;
+                    let reset = resets
+                        .iter()
+                        .find(|(id, _)| *id == target)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0);
+                    module.add_reg_update_with_reset(target, expr, reset);
+                    if !multi {
+                        break;
+                    }
+                    if self.try_keyword("end") {
+                        break;
+                    }
+                }
+                continue;
+            }
+            return Err(RtlError::parse(
+                self.line(),
+                format!("unexpected token {:?}", self.peek()),
+            ));
+        }
+        Ok(module)
+    }
+
+    /// Scans ahead (without consuming) for `wire`/`reg` declarations and adds
+    /// them to the module's signal table.
+    fn prescan_decls(&mut self, module: &mut Module) -> Result<(), RtlError> {
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(s) if s == "endmodule" => break,
+                TokenKind::Ident(s) if s == "wire" || s == "reg" => {
+                    let kind = if s == "wire" {
+                        SignalKind::Wire
+                    } else {
+                        SignalKind::Reg
+                    };
+                    self.bump();
+                    let width = self.parse_range()?;
+                    let name = self.eat_ident()?;
+                    if module.find(&name).is_some() {
+                        return Err(RtlError::parse(
+                            self.line(),
+                            format!("signal '{name}' declared twice"),
+                        ));
+                    }
+                    module.add_signal(name, width, kind);
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.pos = start;
+        Ok(())
+    }
+
+    // ---- expression parsing, precedence climbing ----
+
+    fn parse_expr(&mut self, module: &Module) -> Result<Expr, RtlError> {
+        self.parse_ternary(module)
+    }
+
+    fn parse_ternary(&mut self, module: &Module) -> Result<Expr, RtlError> {
+        let cond = self.parse_binary(module, 0)?;
+        if self.try_punct("?") {
+            let then = self.parse_expr(module)?;
+            self.eat_punct(":")?;
+            let other = self.parse_expr(module)?;
+            Ok(Expr::Mux(Box::new(cond), Box::new(then), Box::new(other)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binop_at(&self, level: usize) -> Option<BinOp> {
+        const LEVELS: [&[(&str, BinOp)]; 6] = [
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub), ("*", BinOp::Mul)],
+        ];
+        if level >= LEVELS.len() {
+            return None;
+        }
+        if let TokenKind::Punct(p) = self.peek() {
+            LEVELS[level]
+                .iter()
+                .find(|(sym, _)| sym == p)
+                .map(|&(_, op)| op)
+        } else {
+            None
+        }
+    }
+
+    fn parse_binary(&mut self, module: &Module, level: usize) -> Result<Expr, RtlError> {
+        if level >= 6 {
+            return self.parse_unary(module);
+        }
+        let mut lhs = self.parse_binary(module, level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.parse_binary(module, level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self, module: &Module) -> Result<Expr, RtlError> {
+        if self.try_punct("~") {
+            let e = self.parse_unary(module)?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(e)));
+        }
+        // Reduction operators: `&x`, `|x`, `^x` in prefix position.
+        for (sym, op) in [
+            ("&", UnaryOp::ReduceAnd),
+            ("|", UnaryOp::ReduceOr),
+            ("^", UnaryOp::ReduceXor),
+        ] {
+            if matches!(self.peek(), TokenKind::Punct(p) if *p == sym) {
+                // Only treat as reduction if the *next* token starts a primary.
+                let next = &self.tokens[self.pos + 1].kind;
+                let starts_primary = matches!(
+                    next,
+                    TokenKind::Ident(_) | TokenKind::Number(..)
+                ) || matches!(next, TokenKind::Punct(q) if *q == "(");
+                if starts_primary {
+                    self.bump();
+                    let e = self.parse_unary(module)?;
+                    return Ok(Expr::Unary(op, Box::new(e)));
+                }
+            }
+        }
+        self.parse_primary(module)
+    }
+
+    fn parse_primary(&mut self, module: &Module) -> Result<Expr, RtlError> {
+        if self.try_punct("(") {
+            let e = self.parse_expr(module)?;
+            self.eat_punct(")")?;
+            return Ok(e);
+        }
+        if self.try_punct("{") {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.parse_expr(module)?);
+                if self.try_punct("}") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+            return Ok(Expr::Concat(parts));
+        }
+        match self.bump() {
+            TokenKind::Number(v, Some(w)) => Ok(Expr::constant(v, w)),
+            TokenKind::Number(v, None) => Ok(Expr::constant(v, 32)),
+            TokenKind::Ident(name) => {
+                let id = module
+                    .find(&name)
+                    .ok_or_else(|| RtlError::UnknownSignal { name: name.clone() })?;
+                if self.try_punct("[") {
+                    let hi = self.eat_number()? as u32;
+                    if self.try_punct(":") {
+                        let lo = self.eat_number()? as u32;
+                        self.eat_punct("]")?;
+                        let width = module.signal(id).width;
+                        if hi >= width || lo > hi {
+                            return Err(RtlError::RangeOutOfBounds { name, hi, width });
+                        }
+                        Ok(Expr::Slice(id, hi, lo))
+                    } else {
+                        self.eat_punct("]")?;
+                        let width = module.signal(id).width;
+                        if hi >= width {
+                            return Err(RtlError::RangeOutOfBounds { name, hi, width });
+                        }
+                        Ok(Expr::Index(id, hi))
+                    }
+                } else {
+                    Ok(Expr::Var(id))
+                }
+            }
+            other => Err(RtlError::parse(
+                self.line(),
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SignalKind;
+
+    #[test]
+    fn parses_counter() {
+        let m = parse(
+            "module counter(input clk, output [7:0] count);
+               reg [7:0] q = 0;
+               always @(posedge clk) q <= q + 8'd1;
+               assign count = q;
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.name(), "counter");
+        assert_eq!(m.registers().len(), 1);
+        assert_eq!(m.assigns().len(), 1);
+        assert_eq!(m.reg_updates().len(), 1);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let m = parse(
+            "module f(input a, output y);
+               assign y = t;
+               wire t;
+               assign t = ~a;
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.assigns().len(), 2);
+    }
+
+    #[test]
+    fn begin_end_blocks() {
+        let m = parse(
+            "module two(input clk, input d, output q);
+               reg r1;
+               reg r2;
+               always @(posedge clk) begin
+                 r1 <= d;
+                 r2 <= r1;
+               end
+               assign q = r2;
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.reg_updates().len(), 2);
+    }
+
+    #[test]
+    fn precedence_or_lowest() {
+        let m = parse(
+            "module p(input [3:0] a, input [3:0] b, output [3:0] y);
+               assign y = a | b & a;
+             endmodule",
+        )
+        .unwrap();
+        // a | (b & a)
+        match &m.assigns()[0].expr {
+            Expr::Binary(BinOp::Or, _, rhs) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_and_selects() {
+        let m = parse(
+            "module s(input [7:0] a, input sel, output [3:0] y);
+               assign y = sel ? a[7:4] : a[3:0];
+             endmodule",
+        )
+        .unwrap();
+        assert!(matches!(m.assigns()[0].expr, Expr::Mux(..)));
+    }
+
+    #[test]
+    fn concat_and_reduction() {
+        let m = parse(
+            "module c(input [3:0] a, output [4:0] y, output p);
+               assign y = {a, 1'b1};
+               assign p = ^a;
+             endmodule",
+        )
+        .unwrap();
+        assert!(matches!(m.assigns()[0].expr, Expr::Concat(_)));
+        assert!(matches!(
+            m.assigns()[1].expr,
+            Expr::Unary(UnaryOp::ReduceXor, _)
+        ));
+    }
+
+    #[test]
+    fn reg_initializer_becomes_reset() {
+        let m = parse(
+            "module r(input clk, output [3:0] q);
+               reg [3:0] s = 9;
+               always @(posedge clk) s <= s + 4'd1;
+               assign q = s;
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.reg_updates()[0].reset_value, 9);
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let err = parse("module b(input a, output y); assign y = z; endmodule").unwrap_err();
+        assert!(matches!(err, RtlError::UnknownSignal { .. }));
+    }
+
+    #[test]
+    fn out_of_range_select_rejected() {
+        let err = parse("module b(input [3:0] a, output y); assign y = a[9]; endmodule")
+            .unwrap_err();
+        assert!(matches!(err, RtlError::RangeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn double_declaration_rejected() {
+        let err = parse(
+            "module d(input a, output y);
+               wire t; wire t;
+               assign y = a; assign t = a;
+             endmodule",
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtlError::Parse { .. }));
+    }
+
+    #[test]
+    fn ports_have_declared_widths() {
+        let m = parse("module w(input [15:0] a, output [31:0] y); assign y = a * a; endmodule")
+            .unwrap();
+        let a = m.find("a").unwrap();
+        assert_eq!(m.signal(a).width, 16);
+        assert_eq!(m.signal(a).kind, SignalKind::Input);
+    }
+}

@@ -1,0 +1,172 @@
+//! Pretty-printer: renders a [`Module`] back to mini-RTL source.
+//!
+//! Round-tripping (`parse(print(m)) == m` up to formatting) is property-
+//! tested; the printed text is also what the LLM fine-tuning corpus is built
+//! from, so it must be deterministic.
+
+use crate::ast::{Assign, Expr, Module, RegUpdate, SignalKind, UnaryOp};
+
+/// Renders `module` as mini-RTL source text.
+///
+/// # Examples
+///
+/// ```
+/// let m = moss_rtl::parse("module t(input a, output y); assign y = ~a; endmodule")?;
+/// let src = moss_rtl::print_module(&m);
+/// assert!(src.contains("assign y = ~a;"));
+/// let again = moss_rtl::parse(&src)?;
+/// assert_eq!(m, again);
+/// # Ok::<(), moss_rtl::RtlError>(())
+/// ```
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("module {}(", module.name()));
+    let ports: Vec<String> = module
+        .signals()
+        .iter()
+        .filter(|s| matches!(s.kind, SignalKind::Input | SignalKind::Output))
+        .map(|s| {
+            let dir = if s.kind == SignalKind::Input {
+                "input"
+            } else {
+                "output"
+            };
+            if s.width == 1 {
+                format!("{dir} {}", s.name)
+            } else {
+                format!("{dir} [{}:0] {}", s.width - 1, s.name)
+            }
+        })
+        .collect();
+    out.push_str(&ports.join(", "));
+    out.push_str(");\n");
+
+    for s in module.signals() {
+        let kw = match s.kind {
+            SignalKind::Wire => "wire",
+            SignalKind::Reg => "reg",
+            _ => continue,
+        };
+        let reset = if s.kind == SignalKind::Reg {
+            module
+                .reg_updates()
+                .iter()
+                .find(|u| module.signal(u.target).name == s.name)
+                .map(|u| u.reset_value)
+                .filter(|&v| v != 0)
+        } else {
+            None
+        };
+        if s.width == 1 {
+            out.push_str(&format!("  {kw} {}", s.name));
+        } else {
+            out.push_str(&format!("  {kw} [{}:0] {}", s.width - 1, s.name));
+        }
+        if let Some(v) = reset {
+            out.push_str(&format!(" = {v}"));
+        }
+        out.push_str(";\n");
+    }
+
+    for Assign { target, expr } in module.assigns() {
+        out.push_str(&format!(
+            "  assign {} = {};\n",
+            module.signal(*target).name,
+            print_expr(module, expr)
+        ));
+    }
+
+    if !module.reg_updates().is_empty() {
+        out.push_str("  always @(posedge clk) begin\n");
+        for RegUpdate { target, expr, .. } in module.reg_updates() {
+            out.push_str(&format!(
+                "    {} <= {};\n",
+                module.signal(*target).name,
+                print_expr(module, expr)
+            ));
+        }
+        out.push_str("  end\n");
+    }
+
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Renders an expression (fully parenthesized where precedence is unclear).
+pub fn print_expr(module: &Module, expr: &Expr) -> String {
+    match expr {
+        Expr::Const { value, width } => format!("{width}'d{value}"),
+        Expr::Var(s) => module.signal(*s).name.clone(),
+        Expr::Index(s, i) => format!("{}[{i}]", module.signal(*s).name),
+        Expr::Slice(s, hi, lo) => format!("{}[{hi}:{lo}]", module.signal(*s).name),
+        Expr::Unary(op, e) => {
+            let sym = match op {
+                UnaryOp::Not => "~",
+                UnaryOp::ReduceXor => "^",
+                UnaryOp::ReduceOr => "|",
+                UnaryOp::ReduceAnd => "&",
+            };
+            format!("{sym}{}", print_atom(module, e))
+        }
+        Expr::Binary(op, l, r) => format!(
+            "{} {} {}",
+            print_atom(module, l),
+            op.symbol(),
+            print_atom(module, r)
+        ),
+        Expr::Mux(c, t, e) => format!(
+            "{} ? {} : {}",
+            print_atom(module, c),
+            print_atom(module, t),
+            print_atom(module, e)
+        ),
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(|p| print_expr(module, p)).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+/// Like [`print_expr`] but wraps compound expressions in parentheses so the
+/// output re-parses with identical structure.
+fn print_atom(module: &Module, expr: &Expr) -> String {
+    match expr {
+        Expr::Binary(..) | Expr::Mux(..) => format!("({})", print_expr(module, expr)),
+        _ => print_expr(module, expr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trip_counter() {
+        let src = "module counter(input clk, output [7:0] count);
+               reg [7:0] q = 5;
+               always @(posedge clk) q <= q + 8'd1;
+               assign count = q;
+             endmodule";
+        let m = parse(src).unwrap();
+        let printed = print_module(&m);
+        let m2 = parse(&printed).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn round_trip_preserves_precedence() {
+        let src = "module p(input [3:0] a, input [3:0] b, output [3:0] y);
+               assign y = a | (b & a) ^ (a + b);
+             endmodule";
+        let m = parse(src).unwrap();
+        let m2 = parse(&print_module(&m)).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn print_is_deterministic() {
+        let m = parse("module t(input a, output y); assign y = ~a; endmodule").unwrap();
+        assert_eq!(print_module(&m), print_module(&m));
+    }
+}

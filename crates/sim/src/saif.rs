@@ -1,0 +1,133 @@
+//! SAIF (Switching Activity Interchange Format) output — the activity file
+//! a PrimePower-style power flow consumes. Written from a [`ToggleReport`].
+
+use std::io::{self, Write};
+
+use moss_netlist::{Netlist, NodeKind};
+
+use crate::toggle::ToggleReport;
+
+/// Writes a backward-SAIF file covering every net in the netlist (primary
+/// inputs, cell outputs, primary outputs).
+///
+/// Durations are in cycles: `T1` is the number of cycles the net was
+/// sampled high, `T0 = duration − T1`, and `TC` is the toggle count.
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+///
+/// # Panics
+///
+/// Panics if `report` was collected on a different-sized netlist.
+///
+/// # Examples
+///
+/// ```
+/// use moss_netlist::{CellKind, Netlist};
+/// use moss_sim::{toggle_rates, write_saif};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g = nl.add_cell(CellKind::Inv, "u1", &[a])?;
+/// nl.add_output("y", g);
+/// let report = toggle_rates(&nl, &[], 500, 3)?;
+/// let mut out = Vec::new();
+/// write_saif(&mut out, &nl, &report)?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.contains("(SAIFILE"));
+/// assert!(text.contains("(DURATION 500)"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_saif<W: Write>(
+    mut writer: W,
+    netlist: &Netlist,
+    report: &ToggleReport,
+) -> io::Result<()> {
+    assert_eq!(
+        report.toggles.len(),
+        netlist.node_count(),
+        "toggle report does not match netlist"
+    );
+    writeln!(writer, "(SAIFILE")?;
+    writeln!(writer, "  (SAIFVERSION \"2.0\")")?;
+    writeln!(writer, "  (DIRECTION \"backward\")")?;
+    writeln!(writer, "  (DESIGN \"{}\")", sanitize(netlist.name()))?;
+    writeln!(writer, "  (TIMESCALE 1 ns)")?;
+    writeln!(writer, "  (DURATION {})", report.cycles)?;
+    writeln!(writer, "  (INSTANCE {}", sanitize(netlist.name()))?;
+    writeln!(writer, "    (NET")?;
+    for id in netlist.node_ids() {
+        let name = match netlist.kind(id) {
+            NodeKind::PrimaryInput | NodeKind::PrimaryOutput => {
+                sanitize(netlist.node(id).name())
+            }
+            NodeKind::Cell(_) => format!("n_{}", sanitize(netlist.node(id).name())),
+        };
+        let t1 = report.ones[id.index()];
+        let t0 = report.cycles.saturating_sub(t1);
+        let tc = report.toggles[id.index()];
+        writeln!(writer, "      ({name} (T0 {t0}) (T1 {t1}) (TC {tc}))")?;
+    }
+    writeln!(writer, "    )")?;
+    writeln!(writer, "  )")?;
+    writeln!(writer, ")")?;
+    Ok(())
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toggle::toggle_rates;
+    use moss_netlist::CellKind;
+
+    fn toggler() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("en");
+        let ff = nl.add_cell(CellKind::Dff, "q", &[a]).unwrap();
+        let inv = nl.add_cell(CellKind::Inv, "u", &[ff]).unwrap();
+        nl.replace_fanin(ff, 0, inv).unwrap();
+        nl.add_output("out", ff);
+        nl
+    }
+
+    #[test]
+    fn saif_counts_are_consistent() {
+        let nl = toggler();
+        let report = toggle_rates(&nl, &[], 100, 5).unwrap();
+        let mut out = Vec::new();
+        write_saif(&mut out, &nl, &report).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("(DURATION 100)"));
+        // The toggle flop alternates: T0 + T1 = 100 and TC = 100.
+        let q_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("(n_q "))
+            .expect("q net present");
+        assert!(q_line.contains("(TC 100)"), "{q_line}");
+        assert!(q_line.contains("(T0 50)") && q_line.contains("(T1 50)"), "{q_line}");
+    }
+
+    #[test]
+    fn every_node_has_a_net_entry() {
+        let nl = toggler();
+        let report = toggle_rates(&nl, &[], 32, 5).unwrap();
+        let mut out = Vec::new();
+        write_saif(&mut out, &nl, &report).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let entries = text.lines().filter(|l| l.contains("(TC ")).count();
+        assert_eq!(entries, nl.node_count());
+    }
+}

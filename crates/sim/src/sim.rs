@@ -1,0 +1,281 @@
+//! Event-driven cycle simulation of standard-cell netlists.
+//!
+//! Zero-delay, two-phase semantics matching the RTL interpreter: each clock
+//! cycle, combinational logic settles level-by-level (only re-evaluating
+//! gates whose fanins changed — the event-driven part), then every DFF
+//! simultaneously captures the value at its D pin.
+
+use moss_netlist::{Levelization, Netlist, NetlistError, NodeId, NodeKind};
+
+/// A gate-level simulator for one netlist.
+///
+/// # Examples
+///
+/// ```
+/// use moss_netlist::{CellKind, Netlist};
+/// use moss_sim::GateSim;
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_cell(CellKind::Xor2, "u1", &[a, b])?;
+/// let y = nl.add_output("y", g);
+/// let mut sim = GateSim::new(&nl)?;
+/// sim.set_input(a, true);
+/// sim.set_input(b, false);
+/// sim.settle();
+/// assert!(sim.value(y));
+/// # Ok::<(), moss_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GateSim {
+    netlist: Netlist,
+    levels: Levelization,
+    values: Vec<bool>,
+    /// Per-level event buckets for the current settle pass.
+    buckets: Vec<Vec<NodeId>>,
+    queued: Vec<bool>,
+    dff_ids: Vec<NodeId>,
+}
+
+impl GateSim {
+    /// Builds a simulator; all DFFs start at logic 0 and all inputs low.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist is invalid or combinationally cyclic.
+    pub fn new(netlist: &Netlist) -> Result<GateSim, NetlistError> {
+        let levels = Levelization::of(netlist)?;
+        let n = netlist.node_count();
+        let max_level = levels.max_level() as usize;
+        let mut sim = GateSim {
+            netlist: netlist.clone(),
+            dff_ids: netlist.dffs(),
+            levels,
+            values: vec![false; n],
+            buckets: vec![Vec::new(); max_level + 1],
+            queued: vec![false; n],
+        };
+        sim.full_settle();
+        Ok(sim)
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Current logic value of a node.
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// All current values (indexed by node id).
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Drives a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a primary input.
+    pub fn set_input(&mut self, id: NodeId, value: bool) {
+        assert_eq!(
+            self.netlist.kind(id),
+            NodeKind::PrimaryInput,
+            "{id} is not a primary input"
+        );
+        if self.values[id.index()] != value {
+            self.values[id.index()] = value;
+            self.enqueue_fanouts(id);
+        }
+    }
+
+    /// Forces a DFF's state (e.g. applying a reset value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a DFF.
+    pub fn set_state(&mut self, id: NodeId, value: bool) {
+        assert!(self.netlist.kind(id).is_dff(), "{id} is not a DFF");
+        if self.values[id.index()] != value {
+            self.values[id.index()] = value;
+            self.enqueue_fanouts(id);
+        }
+    }
+
+    /// Propagates pending events until the combinational logic is stable.
+    pub fn settle(&mut self) {
+        for level in 1..self.buckets.len() {
+            while let Some(id) = self.buckets[level].pop() {
+                self.queued[id.index()] = false;
+                let new = self.eval(id);
+                if new != self.values[id.index()] {
+                    self.values[id.index()] = new;
+                    self.enqueue_fanouts(id);
+                }
+            }
+        }
+        // Primary outputs mirror their drivers (level buckets exclude them
+        // only when their driver level is 0).
+        for id in self.netlist.primary_outputs() {
+            let v = self.values[self.netlist.fanins(id)[0].index()];
+            self.values[id.index()] = v;
+        }
+    }
+
+    /// Advances one clock edge: settle, capture all D pins, commit, settle.
+    pub fn step(&mut self) {
+        self.settle();
+        let next: Vec<(NodeId, bool)> = self
+            .dff_ids
+            .iter()
+            .map(|&d| (d, self.values[self.netlist.fanins(d)[0].index()]))
+            .collect();
+        for (d, v) in next {
+            if self.values[d.index()] != v {
+                self.values[d.index()] = v;
+                self.enqueue_fanouts(d);
+            }
+        }
+        self.settle();
+    }
+
+    /// Re-evaluates every node from scratch (used at construction and after
+    /// bulk state changes).
+    pub fn full_settle(&mut self) {
+        for &id in &self.levels.topo_combinational().to_vec() {
+            self.values[id.index()] = self.eval(id);
+        }
+        for id in self.netlist.primary_outputs() {
+            self.values[id.index()] = self.values[self.netlist.fanins(id)[0].index()];
+        }
+        // Drop any stale events.
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.queued.fill(false);
+    }
+
+    fn eval(&self, id: NodeId) -> bool {
+        match self.netlist.kind(id) {
+            NodeKind::Cell(kind) if !kind.is_sequential() => {
+                let inputs: Vec<bool> = self
+                    .netlist
+                    .fanins(id)
+                    .iter()
+                    .map(|&f| self.values[f.index()])
+                    .collect();
+                kind.eval(&inputs)
+            }
+            _ => self.values[id.index()],
+        }
+    }
+
+    fn enqueue_fanouts(&mut self, id: NodeId) {
+        for &f in self.netlist.fanouts(id) {
+            if self.netlist.kind(f).is_combinational_cell() && !self.queued[f.index()] {
+                self.queued[f.index()] = true;
+                let level = self.levels.level(f) as usize;
+                self.buckets[level].push(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moss_netlist::CellKind;
+
+    #[test]
+    fn counter_behaviour_matches_rtl_semantics() {
+        // 2-bit counter: q0' = !q0 ; q1' = q1 ^ q0.
+        let mut nl = Netlist::new("cnt2");
+        let seed = nl.add_input("unused");
+        let _ = seed;
+        // Build with DFF forward patching via a second netlist construction
+        // trick: d-pins reference gates of the DFF outputs, so create DFFs
+        // first with a placeholder, then rewire.
+        let mut nl = Netlist::new("cnt2");
+        let tie = nl.add_input("tie_placeholder");
+        let q0 = nl.add_cell(CellKind::Dff, "q0", &[tie]).unwrap();
+        let q1 = nl.add_cell(CellKind::Dff, "q1", &[tie]).unwrap();
+        let n0 = nl.add_cell(CellKind::Inv, "u0", &[q0]).unwrap();
+        let n1 = nl.add_cell(CellKind::Xor2, "u1", &[q1, q0]).unwrap();
+        nl.replace_fanin(q0, 0, n0).unwrap();
+        nl.replace_fanin(q1, 0, n1).unwrap();
+        let o0 = nl.add_output("o0", q0);
+        let o1 = nl.add_output("o1", q1);
+
+        let mut sim = GateSim::new(&nl).unwrap();
+        let mut expected = 0u8;
+        for _ in 0..10 {
+            sim.step();
+            expected = (expected + 1) % 4;
+            let got = sim.value(o0) as u8 | ((sim.value(o1) as u8) << 1);
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn event_driven_matches_full_settle() {
+        // A chain where only part of the logic sees events.
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_cell(CellKind::And2, "u1", &[a, b]).unwrap();
+        let g2 = nl.add_cell(CellKind::Or2, "u2", &[g1, b]).unwrap();
+        let g3 = nl.add_cell(CellKind::Xor2, "u3", &[g2, a]).unwrap();
+        nl.add_output("y", g3);
+
+        let mut ev = GateSim::new(&nl).unwrap();
+        for pattern in 0..4u8 {
+            ev.set_input(a, pattern & 1 == 1);
+            ev.set_input(b, pattern & 2 == 2);
+            ev.settle();
+            let mut full = ev.clone();
+            full.full_settle();
+            assert_eq!(ev.values(), full.values(), "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn set_state_applies_reset() {
+        let mut nl = Netlist::new("r");
+        let a = nl.add_input("a");
+        let ff = nl.add_cell(CellKind::Dff, "r0", &[a]).unwrap();
+        let y = nl.add_output("y", ff);
+        let mut sim = GateSim::new(&nl).unwrap();
+        sim.set_state(ff, true);
+        sim.settle();
+        assert!(sim.value(y));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn set_input_rejects_cells() {
+        let mut nl = Netlist::new("r");
+        let a = nl.add_input("a");
+        let g = nl.add_cell(CellKind::Inv, "u", &[a]).unwrap();
+        nl.add_output("y", g);
+        let mut sim = GateSim::new(&nl).unwrap();
+        sim.set_input(g, true);
+    }
+
+    #[test]
+    fn tie_cells_hold_constants() {
+        let mut nl = Netlist::new("t");
+        let _a = nl.add_input("a");
+        let t1 = nl.add_cell(CellKind::Tie1, "t1", &[]).unwrap();
+        let t0 = nl.add_cell(CellKind::Tie0, "t0", &[]).unwrap();
+        let g = nl.add_cell(CellKind::And2, "u", &[t1, t0]).unwrap();
+        let y = nl.add_output("y", g);
+        let mut sim = GateSim::new(&nl).unwrap();
+        sim.settle();
+        assert!(sim.value(t1));
+        assert!(!sim.value(t0));
+        assert!(!sim.value(y));
+    }
+}

@@ -1,0 +1,326 @@
+//! AIG lowering: standard-cell netlist → And-Inverter Graph.
+//!
+//! The DeepSeq series learns on AIGs (paper §II-A); this transformation
+//! reproduces that representation so the reproduction can both (a) feed the
+//! baseline its native graph form, and (b) quantify the node-count inflation
+//! that motivates MOSS's choice to stay at the standard-cell level.
+
+use moss_netlist::{CellKind, Netlist, NetlistError, NodeId, NodeKind};
+
+use crate::builder::{Bit, MapStyle, NetBuilder};
+
+/// Result of AIG lowering.
+#[derive(Debug, Clone)]
+pub struct AigResult {
+    /// The lowered netlist: only `AND2`, `INV`, `DFF`, tie cells and ports.
+    pub netlist: Netlist,
+    /// Old-node → new-node map (DFFs and ports map 1:1; combinational
+    /// cells map to the node computing the same function).
+    pub node_map: Vec<Option<NodeId>>,
+}
+
+/// Lowers a standard-cell netlist to an AIG.
+///
+/// Every combinational cell is decomposed into 2-input ANDs and inverters
+/// (with structural hashing); DFFs and ports are preserved 1:1, so
+/// sequential behaviour is bit-exact.
+///
+/// # Errors
+///
+/// Returns an error if the input netlist is invalid or cyclic.
+///
+/// # Examples
+///
+/// ```
+/// use moss_netlist::{CellKind, Netlist, NetlistStats};
+/// use moss_synth::lower_to_aig;
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_cell(CellKind::Xor2, "u1", &[a, b])?;
+/// nl.add_output("y", g);
+/// let aig = lower_to_aig(&nl)?;
+/// // XOR inflates to multiple AND/INV cells.
+/// assert!(aig.netlist.cell_count() > 1);
+/// # Ok::<(), moss_netlist::NetlistError>(())
+/// ```
+pub fn lower_to_aig(netlist: &Netlist) -> Result<AigResult, NetlistError> {
+    let levels = moss_netlist::Levelization::of(netlist)?;
+    let style = MapStyle {
+        prefer_inverting: false,
+        use_complex_cells: false,
+        use_wide_cells: false,
+        balanced_trees: true,
+    };
+    let mut b = NetBuilder::new(format!("{}_aig", netlist.name()), style);
+    let n = netlist.node_count();
+    let mut bits: Vec<Option<Bit>> = vec![None; n];
+    let mut node_map: Vec<Option<NodeId>> = vec![None; n];
+
+    // Ports and DFFs first (DFFs with placeholder D pins).
+    let placeholder = b.materialize(Bit::ZERO);
+    for id in netlist.node_ids() {
+        match netlist.kind(id) {
+            NodeKind::PrimaryInput => {
+                let bit = b.input(netlist.node(id).name());
+                bits[id.index()] = Some(bit);
+                node_map[id.index()] = match bit {
+                    Bit::Lit { node, .. } => Some(node),
+                    Bit::Const(_) => None,
+                };
+            }
+            NodeKind::Cell(k) if k.is_sequential() => {
+                let dff = b
+                    .netlist_mut()
+                    .add_cell(CellKind::Dff, netlist.node(id).name(), &[placeholder])
+                    .expect("dff arity");
+                bits[id.index()] = Some(Bit::from_node(dff));
+                node_map[id.index()] = Some(dff);
+            }
+            _ => {}
+        }
+    }
+
+    // Combinational cells in topological order.
+    for &id in levels.topo_combinational() {
+        let kind = match netlist.kind(id) {
+            NodeKind::Cell(k) => k,
+            _ => unreachable!("topo order contains cells"),
+        };
+        let ins: Vec<Bit> = netlist
+            .fanins(id)
+            .iter()
+            .map(|&f| bits[f.index()].expect("fanin lowered"))
+            .collect();
+        let bit = lower_cell(&mut b, kind, &ins);
+        bits[id.index()] = Some(bit);
+        node_map[id.index()] = Some(b.materialize(bit));
+    }
+
+    // Patch DFF D pins.
+    for id in netlist.node_ids() {
+        if netlist.kind(id).is_dff() {
+            let d_old = netlist.fanins(id)[0];
+            let d_bit = bits[d_old.index()].expect("driver lowered");
+            let d_new = b.materialize(d_bit);
+            let dff_new = node_map[id.index()].expect("dff created");
+            b.netlist_mut()
+                .replace_fanin(dff_new, 0, d_new)
+                .expect("valid patch");
+        }
+    }
+
+    // Primary outputs.
+    for id in netlist.primary_outputs() {
+        let driver = netlist.fanins(id)[0];
+        let bit = bits[driver.index()].expect("driver lowered");
+        let po = b.output(netlist.node(id).name(), bit);
+        node_map[id.index()] = Some(po);
+    }
+
+    Ok(AigResult {
+        netlist: b.finish(),
+        node_map,
+    })
+}
+
+/// Decomposes one cell into AND/INV logic.
+fn lower_cell(b: &mut NetBuilder, kind: CellKind, ins: &[Bit]) -> Bit {
+    let xor = |b: &mut NetBuilder, x: Bit, y: Bit| {
+        let l = b.and2(x, y.not());
+        let r = b.and2(x.not(), y);
+        b.or2(l, r)
+    };
+    match kind {
+        CellKind::Inv => ins[0].not(),
+        CellKind::Buf => ins[0],
+        CellKind::And2 => b.and2(ins[0], ins[1]),
+        CellKind::Nand2 => b.and2(ins[0], ins[1]).not(),
+        CellKind::Or2 => b.or2(ins[0], ins[1]),
+        CellKind::Nor2 => b.or2(ins[0], ins[1]).not(),
+        CellKind::And3 => {
+            let t = b.and2(ins[0], ins[1]);
+            b.and2(t, ins[2])
+        }
+        CellKind::Nand3 => {
+            let t = b.and2(ins[0], ins[1]);
+            b.and2(t, ins[2]).not()
+        }
+        CellKind::Or3 => {
+            let t = b.or2(ins[0], ins[1]);
+            b.or2(t, ins[2])
+        }
+        CellKind::Nor3 => {
+            let t = b.or2(ins[0], ins[1]);
+            b.or2(t, ins[2]).not()
+        }
+        CellKind::Xor2 => xor(b, ins[0], ins[1]),
+        CellKind::Xnor2 => xor(b, ins[0], ins[1]).not(),
+        CellKind::Aoi21 => {
+            let t = b.and2(ins[0], ins[1]);
+            b.or2(t, ins[2]).not()
+        }
+        CellKind::Oai21 => {
+            let t = b.or2(ins[0], ins[1]);
+            b.and2(t, ins[2]).not()
+        }
+        CellKind::Mux2 => {
+            // (sel & b) | (!sel & a); pin order (a, b, sel).
+            let t = b.and2(ins[2], ins[1]);
+            let e = b.and2(ins[2].not(), ins[0]);
+            b.or2(t, e)
+        }
+        CellKind::Tie0 => Bit::ZERO,
+        CellKind::Tie1 => Bit::ONE,
+        CellKind::Dff => unreachable!("DFFs handled separately"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moss_netlist::NetlistStats;
+
+    #[test]
+    fn aig_contains_only_and_inv_dff() {
+        let m = moss_rtl::parse(
+            "module t(input clk, input [3:0] a, input [3:0] b, output [3:0] y);
+               reg [3:0] s;
+               always @(posedge clk) s <= a ^ b;
+               assign y = s;
+             endmodule",
+        )
+        .unwrap();
+        let synth = crate::synthesize(&m, &crate::SynthOptions::default()).unwrap();
+        let aig = lower_to_aig(&synth.netlist).unwrap();
+        let stats = NetlistStats::of(&aig.netlist);
+        for kind in CellKind::ALL {
+            let count = stats.kind_histogram[kind.index()];
+            let allowed = matches!(
+                kind,
+                CellKind::And2 | CellKind::Inv | CellKind::Dff | CellKind::Tie0 | CellKind::Tie1
+            );
+            assert!(allowed || count == 0, "{kind} appears {count}×");
+        }
+        assert_eq!(aig.netlist.dff_count(), synth.netlist.dff_count());
+    }
+
+    #[test]
+    fn aig_is_functionally_equivalent() {
+        let m = moss_rtl::parse(
+            "module t(input clk, input [2:0] a, input [2:0] b, output [2:0] y, output c);
+               reg [2:0] s = 3;
+               wire [2:0] m;
+               assign m = (a > b) ? (a - b) : (b + a);
+               always @(posedge clk) s <= m ^ s;
+               assign y = s;
+               assign c = ^m;
+             endmodule",
+        )
+        .unwrap();
+        let synth = crate::synthesize(&m, &crate::SynthOptions::default()).unwrap();
+        let aig = lower_to_aig(&synth.netlist).unwrap();
+
+        let mut sim_a = moss_sim_equiv::Sim::new(&synth.netlist);
+        let mut sim_b = moss_sim_equiv::Sim::new(&aig.netlist);
+        // Apply identical reset state to the matching DFFs.
+        for bind in &synth.dffs {
+            sim_a.set_state(bind.dff, bind.reset);
+            let mapped = aig.node_map[bind.dff.index()].unwrap();
+            sim_b.set_state(mapped, bind.reset);
+        }
+        let mut state = 0xdead_beefu64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let inputs: Vec<bool> = (0..64).map(|i| (state >> i) & 1 == 1).collect();
+            sim_a.drive(&inputs);
+            sim_b.drive(&inputs);
+            assert_eq!(sim_a.outputs(), sim_b.outputs());
+        }
+    }
+
+    #[test]
+    fn aig_inflates_node_count() {
+        let m = moss_rtl::parse(
+            "module t(input [7:0] a, input [7:0] b, output [7:0] y);
+               assign y = a ^ b;
+             endmodule",
+        )
+        .unwrap();
+        let synth = crate::synthesize(&m, &crate::SynthOptions::default()).unwrap();
+        let aig = lower_to_aig(&synth.netlist).unwrap();
+        assert!(
+            aig.netlist.cell_count() > synth.netlist.cell_count(),
+            "AIG {} vs cells {}",
+            aig.netlist.cell_count(),
+            synth.netlist.cell_count()
+        );
+    }
+
+    /// Minimal bit-parallel simulator for the equivalence check, local to
+    /// this test module (the full simulator lives in `moss-sim`, which this
+    /// crate does not depend on).
+    mod moss_sim_equiv {
+        use moss_netlist::{Levelization, Netlist, NodeId, NodeKind};
+
+        pub struct Sim {
+            nl: Netlist,
+            lv: Levelization,
+            vals: Vec<bool>,
+        }
+
+        impl Sim {
+            pub fn new(nl: &Netlist) -> Sim {
+                Sim {
+                    lv: Levelization::of(nl).unwrap(),
+                    vals: vec![false; nl.node_count()],
+                    nl: nl.clone(),
+                }
+            }
+
+            pub fn set_state(&mut self, id: NodeId, v: bool) {
+                self.vals[id.index()] = v;
+            }
+
+            pub fn drive(&mut self, inputs: &[bool]) {
+                for (i, id) in self.nl.primary_inputs().into_iter().enumerate() {
+                    self.vals[id.index()] = inputs[i % inputs.len()];
+                }
+                self.settle();
+                let next: Vec<(NodeId, bool)> = self
+                    .nl
+                    .dffs()
+                    .into_iter()
+                    .map(|d| (d, self.vals[self.nl.fanins(d)[0].index()]))
+                    .collect();
+                for (d, v) in next {
+                    self.vals[d.index()] = v;
+                }
+                self.settle();
+            }
+
+            fn settle(&mut self) {
+                for &id in &self.lv.topo_combinational().to_vec() {
+                    if let NodeKind::Cell(k) = self.nl.kind(id) {
+                        let ins: Vec<bool> = self
+                            .nl
+                            .fanins(id)
+                            .iter()
+                            .map(|&f| self.vals[f.index()])
+                            .collect();
+                        self.vals[id.index()] = k.eval(&ins);
+                    }
+                }
+            }
+
+            pub fn outputs(&self) -> Vec<bool> {
+                self.nl
+                    .primary_outputs()
+                    .into_iter()
+                    .map(|o| self.vals[self.nl.fanins(o)[0].index()])
+                    .collect()
+            }
+        }
+    }
+}

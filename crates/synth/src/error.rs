@@ -1,0 +1,61 @@
+//! Synthesis error type.
+
+use std::error::Error;
+use std::fmt;
+
+use moss_netlist::NetlistError;
+use moss_rtl::RtlError;
+
+/// Errors from synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The RTL module failed validation (bad drivers, cycles, ...).
+    Rtl(RtlError),
+    /// Netlist construction failed (should not happen for valid RTL).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Rtl(e) => write!(f, "rtl error during synthesis: {e}"),
+            SynthError::Netlist(e) => write!(f, "netlist error during synthesis: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Rtl(e) => Some(e),
+            SynthError::Netlist(e) => Some(e),
+        }
+    }
+}
+
+impl From<RtlError> for SynthError {
+    fn from(e: RtlError) -> Self {
+        SynthError::Rtl(e)
+    }
+}
+
+impl From<NetlistError> for SynthError {
+    fn from(e: NetlistError) -> Self {
+        SynthError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_with_source() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SynthError>();
+        let e = SynthError::Rtl(RtlError::UnknownSignal { name: "x".into() });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("unknown signal"));
+    }
+}

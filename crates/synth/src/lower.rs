@@ -1,0 +1,321 @@
+//! Word-level RTL expression lowering to gate-level bit vectors.
+//!
+//! Expressions are lowered to `Vec<Bit>` (LSB first). Arithmetic uses
+//! ripple-carry adders and array multipliers — which is what gives the
+//! paper's `mult_16x32_to_48` benchmark its ~4k-cell size — and comparisons
+//! use borrow chains built from the majority function.
+
+use moss_rtl::{mask, BinOp, Expr, Module, UnaryOp};
+
+use crate::builder::{Bit, NetBuilder};
+
+/// Per-signal lowered bit vectors (LSB first), indexed by signal id.
+pub type Env = Vec<Option<Vec<Bit>>>;
+
+/// Lowers `expr` to `width(expr)` bits using signal values from `env`.
+///
+/// # Panics
+///
+/// Panics if the expression reads a signal whose bits are not yet in `env`
+/// (the synthesizer orders assigns so this cannot happen for valid modules).
+pub fn lower_expr(b: &mut NetBuilder, module: &Module, env: &Env, expr: &Expr) -> Vec<Bit> {
+    match expr {
+        Expr::Const { value, width } => const_bits(*value, *width),
+        Expr::Var(s) => env[s.index()]
+            .clone()
+            .unwrap_or_else(|| panic!("signal {} not lowered yet", module.signal(*s).name)),
+        Expr::Index(s, i) => {
+            let bits = env[s.index()].as_ref().expect("signal lowered");
+            vec![bits[*i as usize]]
+        }
+        Expr::Slice(s, hi, lo) => {
+            let bits = env[s.index()].as_ref().expect("signal lowered");
+            bits[*lo as usize..=*hi as usize].to_vec()
+        }
+        Expr::Unary(op, e) => {
+            let bits = lower_expr(b, module, env, e);
+            match op {
+                UnaryOp::Not => bits.into_iter().map(Bit::not).collect(),
+                UnaryOp::ReduceXor => vec![b.xor_tree(&bits)],
+                UnaryOp::ReduceOr => vec![b.or_tree(&bits)],
+                UnaryOp::ReduceAnd => vec![b.and_tree(&bits)],
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let w = expr.width(module) as usize;
+            let lb = lower_expr(b, module, env, l);
+            let rb = lower_expr(b, module, env, r);
+            match op {
+                BinOp::And => zip_map(b, &lb, &rb, w, NetBuilder::and2),
+                BinOp::Or => zip_map(b, &lb, &rb, w, NetBuilder::or2),
+                BinOp::Xor => zip_map(b, &lb, &rb, w, NetBuilder::xor2),
+                BinOp::Add => {
+                    let la = extend(&lb, w);
+                    let ra = extend(&rb, w);
+                    add(b, &la, &ra, Bit::ZERO)
+                }
+                BinOp::Sub => {
+                    let la = extend(&lb, w);
+                    let ra: Vec<Bit> = extend(&rb, w).into_iter().map(Bit::not).collect();
+                    add(b, &la, &ra, Bit::ONE)
+                }
+                BinOp::Mul => mul(b, &lb, &rb, w),
+                BinOp::Eq => vec![eq(b, &lb, &rb)],
+                BinOp::Ne => vec![eq(b, &lb, &rb).not()],
+                BinOp::Lt => vec![less_than(b, &lb, &rb)],
+                BinOp::Gt => vec![less_than(b, &rb, &lb)],
+                BinOp::Shl => shift(b, &lb, &rb, true),
+                BinOp::Shr => shift(b, &lb, &rb, false),
+            }
+        }
+        Expr::Mux(c, t, e) => {
+            let w = expr.width(module) as usize;
+            let cb = lower_expr(b, module, env, c);
+            // Condition truthiness is its LSB, matching the interpreter.
+            let sel = cb[0];
+            let tb = extend(&lower_expr(b, module, env, t), w);
+            let eb = extend(&lower_expr(b, module, env, e), w);
+            (0..w).map(|i| b.mux2(sel, tb[i], eb[i])).collect()
+        }
+        Expr::Concat(parts) => {
+            // First part is most significant: lower in reverse so the result
+            // is LSB-first.
+            let mut out = Vec::new();
+            for p in parts.iter().rev() {
+                out.extend(lower_expr(b, module, env, p));
+            }
+            let w = expr.width(module) as usize;
+            out.truncate(w);
+            out
+        }
+    }
+}
+
+/// Bits of a constant, LSB first.
+pub fn const_bits(value: u64, width: u32) -> Vec<Bit> {
+    let v = mask(value, width);
+    (0..width).map(|i| Bit::Const((v >> i) & 1 == 1)).collect()
+}
+
+/// Zero-extends or truncates to `width` bits.
+pub fn extend(bits: &[Bit], width: usize) -> Vec<Bit> {
+    let mut out = bits.to_vec();
+    out.resize(width, Bit::ZERO);
+    out.truncate(width);
+    out
+}
+
+fn zip_map(
+    b: &mut NetBuilder,
+    l: &[Bit],
+    r: &[Bit],
+    width: usize,
+    op: fn(&mut NetBuilder, Bit, Bit) -> Bit,
+) -> Vec<Bit> {
+    let l = extend(l, width);
+    let r = extend(r, width);
+    (0..width).map(|i| op(b, l[i], r[i])).collect()
+}
+
+/// Ripple-carry addition; result has `l.len()` bits (carries out dropped).
+pub fn add(b: &mut NetBuilder, l: &[Bit], r: &[Bit], carry_in: Bit) -> Vec<Bit> {
+    debug_assert_eq!(l.len(), r.len());
+    let mut carry = carry_in;
+    let mut out = Vec::with_capacity(l.len());
+    for i in 0..l.len() {
+        let (s, c) = b.full_adder(l[i], r[i], carry);
+        out.push(s);
+        carry = c;
+    }
+    out
+}
+
+/// Array multiplier producing `width` output bits.
+pub fn mul(b: &mut NetBuilder, l: &[Bit], r: &[Bit], width: usize) -> Vec<Bit> {
+    let mut acc = vec![Bit::ZERO; width];
+    for (i, &rb) in r.iter().enumerate() {
+        if i >= width {
+            break;
+        }
+        if rb.as_const() == Some(false) {
+            continue;
+        }
+        // Partial product: (l << i) & rb, truncated to width.
+        let mut pp = vec![Bit::ZERO; width];
+        for (j, &lb) in l.iter().enumerate() {
+            if i + j < width {
+                pp[i + j] = b.and2(lb, rb);
+            }
+        }
+        acc = add(b, &acc, &pp, Bit::ZERO);
+    }
+    acc
+}
+
+/// Equality comparator: AND-tree of per-bit XNORs.
+pub fn eq(b: &mut NetBuilder, l: &[Bit], r: &[Bit]) -> Bit {
+    let w = l.len().max(r.len());
+    let l = extend(l, w);
+    let r = extend(r, w);
+    let same: Vec<Bit> = (0..w).map(|i| b.xor2(l[i], r[i]).not()).collect();
+    b.and_tree(&same)
+}
+
+/// Unsigned `l < r` via a borrow chain: `borrow' = maj(!l, r, borrow)`.
+pub fn less_than(b: &mut NetBuilder, l: &[Bit], r: &[Bit]) -> Bit {
+    let w = l.len().max(r.len());
+    let l = extend(l, w);
+    let r = extend(r, w);
+    let mut borrow = Bit::ZERO;
+    for i in 0..w {
+        borrow = b.maj3(l[i].not(), r[i], borrow);
+    }
+    borrow
+}
+
+/// Shift by a (possibly non-constant) amount. Constant shifts are pure
+/// rewiring; variable shifts build a mux barrel over the low `log2`
+/// amount bits and force zero when any higher amount bit is set.
+pub fn shift(b: &mut NetBuilder, l: &[Bit], amount: &[Bit], left: bool) -> Vec<Bit> {
+    let w = l.len();
+    // Constant amount?
+    if amount.iter().all(|a| a.as_const().is_some()) {
+        let mut k: u64 = 0;
+        for (i, a) in amount.iter().enumerate() {
+            if a.as_const() == Some(true) && i < 64 {
+                k |= 1 << i;
+            }
+        }
+        return shift_const(l, k as usize, left);
+    }
+    let sig_bits = usize::BITS as usize - (w.max(1) - 1).leading_zeros() as usize;
+    let mut cur = l.to_vec();
+    for (i, &a) in amount.iter().enumerate().take(sig_bits) {
+        let shifted = shift_const(&cur, 1 << i, left);
+        cur = (0..w).map(|j| b.mux2(a, shifted[j], cur[j])).collect();
+    }
+    // If any amount bit >= sig_bits is set, the result is all zeros.
+    let high: Vec<Bit> = amount.iter().copied().skip(sig_bits).collect();
+    if !high.is_empty() {
+        let any_high = b.or_tree(&high);
+        cur = cur.into_iter().map(|c| b.and2(c, any_high.not())).collect();
+    }
+    cur
+}
+
+fn shift_const(l: &[Bit], k: usize, left: bool) -> Vec<Bit> {
+    let w = l.len();
+    (0..w)
+        .map(|i| {
+            let src = if left {
+                i.checked_sub(k)
+            } else {
+                let j = i + k;
+                (j < w).then_some(j)
+            };
+            src.map_or(Bit::ZERO, |s| l[s])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MapStyle;
+
+    fn b() -> NetBuilder {
+        NetBuilder::new("t", MapStyle::default())
+    }
+
+    fn as_u64(bits: &[Bit]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, bit)| (bit.as_const().expect("constant") as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn const_add_folds_completely() {
+        let mut nb = b();
+        let l = const_bits(100, 8);
+        let r = const_bits(55, 8);
+        let s = add(&mut nb, &l, &r, Bit::ZERO);
+        assert_eq!(as_u64(&s), 155);
+        assert_eq!(nb.netlist().cell_count(), 0);
+    }
+
+    #[test]
+    fn const_sub_wraps() {
+        let mut nb = b();
+        let l = const_bits(3, 8);
+        let r: Vec<Bit> = const_bits(5, 8).into_iter().map(Bit::not).collect();
+        let s = add(&mut nb, &l, &r, Bit::ONE);
+        assert_eq!(as_u64(&s), mask(3u64.wrapping_sub(5), 8));
+    }
+
+    #[test]
+    fn const_mul_folds() {
+        let mut nb = b();
+        let p = mul(&mut nb, &const_bits(12, 8), &const_bits(11, 8), 16);
+        assert_eq!(as_u64(&p), 132);
+        assert_eq!(nb.netlist().cell_count(), 0);
+    }
+
+    #[test]
+    fn comparisons_on_constants() {
+        let mut nb = b();
+        assert_eq!(
+            eq(&mut nb, &const_bits(9, 4), &const_bits(9, 4)).as_const(),
+            Some(true)
+        );
+        assert_eq!(
+            eq(&mut nb, &const_bits(9, 4), &const_bits(8, 4)).as_const(),
+            Some(false)
+        );
+        assert_eq!(
+            less_than(&mut nb, &const_bits(3, 4), &const_bits(7, 4)).as_const(),
+            Some(true)
+        );
+        assert_eq!(
+            less_than(&mut nb, &const_bits(7, 4), &const_bits(3, 4)).as_const(),
+            Some(false)
+        );
+        assert_eq!(
+            less_than(&mut nb, &const_bits(5, 4), &const_bits(5, 4)).as_const(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn constant_shifts_rewire() {
+        let mut nb = b();
+        let v = const_bits(0b1010, 4);
+        assert_eq!(as_u64(&shift(&mut nb, &v, &const_bits(1, 2), true)), 0b0100);
+        assert_eq!(as_u64(&shift(&mut nb, &v, &const_bits(1, 2), false)), 0b0101);
+        assert_eq!(nb.netlist().cell_count(), 0);
+    }
+
+    #[test]
+    fn oversized_constant_shift_zeroes() {
+        let mut nb = b();
+        let v = const_bits(0b1111, 4);
+        assert_eq!(as_u64(&shift(&mut nb, &v, &const_bits(9, 4), true)), 0);
+    }
+
+    #[test]
+    fn variable_shift_builds_barrel() {
+        let mut nb = b();
+        let v: Vec<Bit> = (0..4).map(|i| nb.input(format!("v{i}"))).collect();
+        let amt: Vec<Bit> = (0..2).map(|i| nb.input(format!("a{i}"))).collect();
+        let out = shift(&mut nb, &v, &amt, true);
+        assert_eq!(out.len(), 4);
+        assert!(nb.netlist().cell_count() > 0, "muxes instantiated");
+    }
+
+    #[test]
+    fn extend_and_truncate() {
+        let v = const_bits(0b101, 3);
+        assert_eq!(as_u64(&extend(&v, 6)), 0b101);
+        assert_eq!(as_u64(&extend(&v, 2)), 0b01);
+    }
+}

@@ -1,0 +1,170 @@
+//! Named, trainable parameter storage shared across training steps.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Identifier of a parameter within one [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// The dense index of this parameter.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A store of named trainable tensors.
+///
+/// Models register parameters once at construction; each training step reads
+/// them into a fresh [`crate::Graph`] and applies optimizer updates back.
+///
+/// # Examples
+///
+/// ```
+/// use moss_tensor::{ParamStore, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add("w", Tensor::xavier(4, 4, 1));
+/// assert_eq!(store.get(w).shape(), (4, 4));
+/// assert_eq!(store.name(w), "w");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> ParamStore {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "parameter '{name}' registered twice"
+        );
+        let id = ParamId(self.values.len());
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        self.values.push(value);
+        id
+    }
+
+    /// Registers a parameter, or binds to an existing one with the same
+    /// name (leaving its current value untouched). This is how models are
+    /// reconstructed against a restored checkpoint: the constructor re-runs
+    /// its registration sequence and picks up the trained values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing parameter has a different shape than `init`.
+    pub fn get_or_add(&mut self, name: impl Into<String>, init: Tensor) -> ParamId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            assert_eq!(
+                self.values[id.0].shape(),
+                init.shape(),
+                "parameter '{name}' shape mismatch on rebind"
+            );
+            return id;
+        }
+        self.add(name, init)
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Overwrites a parameter value (shape must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape changes.
+    pub fn set(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.values[id.0].shape(),
+            value.shape(),
+            "parameter '{}' shape change",
+            self.names[id.0]
+        );
+        self.values[id.0] = value;
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.values.iter().map(|t| t.data().len()).sum()
+    }
+
+    /// Iterates `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s = ParamStore::new();
+        let a = s.add("layer.w", Tensor::zeros(2, 3));
+        let b = s.add("layer.b", Tensor::zeros(1, 3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.scalar_count(), 9);
+        assert_eq!(s.find("layer.w"), Some(a));
+        assert_eq!(s.find("nope"), None);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_rejected() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::zeros(1, 1));
+        s.add("w", Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape change")]
+    fn set_rejects_shape_change() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Tensor::zeros(2, 2));
+        s.set(w, Tensor::zeros(3, 3));
+    }
+}

@@ -1,0 +1,109 @@
+//! Binary (de)serialization of parameter stores — a minimal checkpoint
+//! format so trained models can be saved and restored without pulling a
+//! serialization framework into the hot crates.
+
+use std::io::{self, Read, Write};
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"MOSSPAR1";
+
+/// Writes `store` to `writer` in the checkpoint format.
+///
+/// A mutable reference works too: `save_params(&mut file, &store)?`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_params<W: Write>(mut writer: W, store: &ParamStore) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(store.len() as u64).to_le_bytes())?;
+    for (_, name, value) in store.iter() {
+        writer.write_all(&(name.len() as u64).to_le_bytes())?;
+        writer.write_all(name.as_bytes())?;
+        let (r, c) = value.shape();
+        writer.write_all(&(r as u64).to_le_bytes())?;
+        writer.write_all(&(c as u64).to_le_bytes())?;
+        for &x in value.data() {
+            writer.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint produced by [`save_params`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/short file and propagates reader
+/// errors.
+pub fn load_params<R: Read>(mut reader: R) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a moss parameter checkpoint",
+        ));
+    }
+    let count = read_u64(&mut reader)? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = read_u64(&mut reader)? as usize;
+        let mut name = vec![0u8; name_len];
+        reader.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad parameter name"))?;
+        let rows = read_u64(&mut reader)? as usize;
+        let cols = read_u64(&mut reader)? as usize;
+        let mut data = vec![0f32; rows * cols];
+        for x in &mut data {
+            let mut b = [0u8; 4];
+            reader.read_exact(&mut b)?;
+            *x = f32::from_le_bytes(b);
+        }
+        store.add(name, Tensor::from_vec(data, rows, cols));
+    }
+    Ok(store)
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    reader.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut store = ParamStore::new();
+        store.add("enc.w1", Tensor::xavier(4, 6, 3));
+        store.add("enc.b1", Tensor::xavier(1, 6, 4));
+        let mut buf = Vec::new();
+        save_params(&mut buf, &store).unwrap();
+        let loaded = load_params(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let w = loaded.find("enc.w1").unwrap();
+        assert_eq!(loaded.get(w), store.get(store.find("enc.w1").unwrap()));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load_params(&b"NOTMAGIC"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::xavier(2, 2, 1));
+        let mut buf = Vec::new();
+        save_params(&mut buf, &store).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load_params(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for tensor/op algebra and autograd invariants.
+
+use moss_tensor::{softmax_rows, Graph, ParamStore, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a small tensor with bounded finite values.
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, rows, cols))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transpose_is_involutive(t in tensor(3, 5)) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in tensor(3, 4), b in tensor(4, 2), c in tensor(4, 2)) {
+        let sum_first = a.matmul(&b.zip_map(&c, |x, y| x + y));
+        let mul_first = a.matmul(&b).zip_map(&a.matmul(&c), |x, y| x + y);
+        for (x, y) in sum_first.data().iter().zip(mul_first.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor(3, 4), b in tensor(4, 2)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor(4, 6)) {
+        let s = softmax_rows(&t);
+        for r in 0..4 {
+            let sum: f32 = s.row_slice(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row_slice(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(t in tensor(2, 5), shift in -2.0f32..2.0) {
+        let shifted = t.map(|x| x + shift);
+        let a = softmax_rows(&t);
+        let b = softmax_rows(&shifted);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sum_all_gradient_is_ones(t in tensor(3, 3)) {
+        let mut store = ParamStore::new();
+        let p = store.add("p", t);
+        let mut g = Graph::new();
+        let v = g.param(p, &store);
+        let loss = g.sum_all(v);
+        let grads = g.backward(loss);
+        prop_assert_eq!(grads.get(p).unwrap(), &Tensor::full(3, 3, 1.0));
+    }
+
+    #[test]
+    fn linearity_of_gradients(t in tensor(2, 3), k in 0.5f32..4.0) {
+        // d(k·sum(x))/dx = k everywhere.
+        let mut store = ParamStore::new();
+        let p = store.add("p", t);
+        let mut g = Graph::new();
+        let v = g.param(p, &store);
+        let scaled = g.scale(v, k);
+        let loss = g.sum_all(scaled);
+        let grads = g.backward(loss);
+        for &x in grads.get(p).unwrap().data() {
+            prop_assert!((x - k).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_identity_gradient(t in tensor(5, 2)) {
+        // scatter(base, gather(base, idx), idx) == base, and its gradient
+        // w.r.t. base is all-ones under sum_all.
+        let mut store = ParamStore::new();
+        let p = store.add("p", t.clone());
+        let mut g = Graph::new();
+        let base = g.param(p, &store);
+        let rows = g.gather_rows(base, &[1, 3]);
+        let back = g.scatter_rows(base, rows, &[1, 3]);
+        prop_assert_eq!(g.value(back), &t);
+        let loss = g.sum_all(back);
+        let grads = g.backward(loss);
+        prop_assert_eq!(grads.get(p).unwrap(), &Tensor::full(5, 2, 1.0));
+    }
+
+    #[test]
+    fn l2_normalized_rows_have_unit_norm(t in tensor(3, 4)) {
+        // Skip degenerate all-zero rows (the op guards with an epsilon).
+        prop_assume!(t.data().iter().any(|&x| x.abs() > 0.1));
+        let mut g = Graph::new();
+        let v = g.input(t);
+        let n = g.l2_normalize_rows(v);
+        for r in 0..3 {
+            let norm: f32 = g.value(n).row_slice(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(norm < 1.0 + 1e-4, "row norm {norm}");
+        }
+    }
+
+    #[test]
+    fn smooth_l1_is_nonnegative_and_zero_at_target(t in tensor(2, 3)) {
+        let mut g = Graph::new();
+        let v = g.input(t.clone());
+        let loss = g.smooth_l1(v, t);
+        prop_assert_eq!(g.value(loss).get(0, 0), 0.0);
+        let mut g2 = Graph::new();
+        let v2 = g2.input(Tensor::zeros(2, 3));
+        let loss2 = g2.smooth_l1(v2, Tensor::full(2, 3, 2.0));
+        prop_assert!(g2.value(loss2).get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn adam_descends_on_random_quadratics(t in tensor(1, 4)) {
+        prop_assume!(t.norm() > 0.5);
+        let mut store = ParamStore::new();
+        let p = store.add("p", t);
+        let mut opt = moss_tensor::Adam::new(0.05);
+        let loss_at = |store: &ParamStore| {
+            let mut g = Graph::new();
+            let v = g.param(p, store);
+            let sq = g.mul(v, v);
+            let l = g.sum_all(sq);
+            (g.value(l).get(0, 0), {
+                let mut g2 = Graph::new();
+                let v2 = g2.param(p, store);
+                let sq2 = g2.mul(v2, v2);
+                let l2 = g2.sum_all(sq2);
+                g2.backward(l2)
+            })
+        };
+        let (first, _) = loss_at(&store);
+        for _ in 0..100 {
+            let (_, grads) = loss_at(&store);
+            opt.step(&mut store, &grads);
+        }
+        let (last, _) = loss_at(&store);
+        prop_assert!(last < first, "{first} → {last}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Hold (min-delay) analysis: the fastest path into each DFF endpoint must
+//! not beat the hold window after the capturing clock edge.
+
+use moss_netlist::{CellLibrary, Levelization, Netlist, NetlistError, NodeId, NodeKind};
+
+/// Per-endpoint hold slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoldReport {
+    /// Hold requirement, ps.
+    pub hold_ps: f64,
+    /// `(endpoint DFF, min data arrival ps, hold slack ps)`, worst first.
+    pub endpoints: Vec<(NodeId, f64, f64)>,
+}
+
+impl HoldReport {
+    /// Propagates *minimum* arrival times (shortest path, same delay model
+    /// as setup STA) and reports `slack = min_arrival − hold` per DFF.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist is invalid or combinationally cyclic.
+    pub fn analyze(
+        netlist: &Netlist,
+        lib: &CellLibrary,
+        hold_ps: f64,
+    ) -> Result<HoldReport, NetlistError> {
+        let levels = Levelization::of(netlist)?;
+        let n = netlist.node_count();
+
+        let mut load_ff = vec![0.0f64; n];
+        for id in netlist.node_ids() {
+            load_ff[id.index()] = netlist
+                .fanouts(id)
+                .iter()
+                .map(|&f| match netlist.kind(f) {
+                    NodeKind::Cell(k) => lib.timing(k).input_cap_ff,
+                    NodeKind::PrimaryOutput => 2.0,
+                    NodeKind::PrimaryInput => 0.0,
+                })
+                .sum();
+        }
+
+        let mut min_arrival = vec![0.0f64; n];
+        for id in netlist.node_ids() {
+            if netlist.kind(id).is_dff() {
+                let t = lib.timing(moss_netlist::CellKind::Dff);
+                min_arrival[id.index()] =
+                    t.intrinsic_delay_ps + t.delay_per_ff * load_ff[id.index()];
+            }
+        }
+        for &id in levels.topo_combinational() {
+            let kind = match netlist.kind(id) {
+                NodeKind::Cell(k) => k,
+                _ => unreachable!("topo order contains cells only"),
+            };
+            let earliest = netlist
+                .fanins(id)
+                .iter()
+                .map(|&f| min_arrival[f.index()])
+                .fold(f64::INFINITY, f64::min);
+            let earliest = if earliest.is_finite() { earliest } else { 0.0 };
+            min_arrival[id.index()] = earliest + lib.delay_ps(kind, load_ff[id.index()]);
+        }
+
+        let mut endpoints: Vec<(NodeId, f64, f64)> = netlist
+            .dffs()
+            .into_iter()
+            .map(|d| {
+                let at = min_arrival[netlist.fanins(d)[0].index()];
+                (d, at, at - hold_ps)
+            })
+            .collect();
+        endpoints.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite slack"));
+        Ok(HoldReport { hold_ps, endpoints })
+    }
+
+    /// Worst (most negative) hold slack, if any endpoint exists.
+    pub fn worst_slack_ps(&self) -> Option<f64> {
+        self.endpoints.first().map(|&(_, _, s)| s)
+    }
+
+    /// Endpoints violating hold.
+    pub fn violation_count(&self) -> usize {
+        self.endpoints.iter().filter(|&&(_, _, s)| s < 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moss_netlist::CellKind;
+
+    fn shift_pair() -> Netlist {
+        // ff1 → ff2 directly: the classic hold-risk path.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let ff1 = nl.add_cell(CellKind::Dff, "ff1", &[a]).unwrap();
+        let ff2 = nl.add_cell(CellKind::Dff, "ff2", &[ff1]).unwrap();
+        nl.add_output("q", ff2);
+        nl
+    }
+
+    #[test]
+    fn direct_flop_to_flop_is_the_min_path() {
+        let nl = shift_pair();
+        let lib = CellLibrary::default();
+        let r = HoldReport::analyze(&nl, &lib, 10.0).unwrap();
+        // ff2's D is driven straight from ff1's Q: min arrival = clk-to-q.
+        let ff2 = nl.find("ff2").unwrap();
+        let (d, at, slack) =
+            r.endpoints.iter().find(|&&(d, _, _)| d == ff2).copied().unwrap();
+        assert_eq!(d, ff2);
+        assert!(at >= lib.dff_clk_to_q_ps(), "at {at}");
+        assert!(slack > 0.0, "clk-to-q alone satisfies a 10 ps hold");
+        // ff1's D comes straight from a primary input (zero arrival), which
+        // a 10 ps hold correctly flags — the classic reason real flows add
+        // input delays or hold buffers at ports.
+        assert_eq!(r.violation_count(), 1);
+    }
+
+    #[test]
+    fn tight_hold_flags_fast_paths() {
+        let nl = shift_pair();
+        let lib = CellLibrary::default();
+        // Absurd hold requirement: every direct path violates.
+        let r = HoldReport::analyze(&nl, &lib, 10_000.0).unwrap();
+        assert!(r.violation_count() > 0);
+        assert!(r.worst_slack_ps().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn min_path_takes_the_fast_branch() {
+        // Two paths to a DFF: direct (fast) and via two inverters (slow).
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let ff1 = nl.add_cell(CellKind::Dff, "ff1", &[a]).unwrap();
+        let i1 = nl.add_cell(CellKind::Inv, "u1", &[ff1]).unwrap();
+        let i2 = nl.add_cell(CellKind::Inv, "u2", &[i1]).unwrap();
+        let g = nl.add_cell(CellKind::And2, "u3", &[ff1, i2]).unwrap();
+        let ff2 = nl.add_cell(CellKind::Dff, "ff2", &[g]).unwrap();
+        nl.add_output("q", ff2);
+        let lib = CellLibrary::default();
+        let hold = HoldReport::analyze(&nl, &lib, 0.0).unwrap();
+        let setup = crate::sta::TimingReport::analyze(&nl, &lib).unwrap();
+        let ff2_min = hold
+            .endpoints
+            .iter()
+            .find(|&&(d, _, _)| d == ff2)
+            .map(|&(_, at, _)| at)
+            .unwrap();
+        let ff2_max = setup
+            .dff_arrivals()
+            .iter()
+            .find(|&&(d, _)| d == ff2)
+            .map(|&(_, at)| at)
+            .unwrap();
+        assert!(
+            ff2_min < ff2_max,
+            "min path ({ff2_min}) beats max path ({ff2_max})"
+        );
+    }
+}

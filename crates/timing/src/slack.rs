@@ -1,0 +1,135 @@
+//! Setup-slack analysis against a target clock: required times, per-endpoint
+//! slack, and a PrimeTime-style endpoint report.
+
+use moss_netlist::{Netlist, NodeId};
+
+use crate::sta::TimingReport;
+
+/// Per-endpoint setup slack under a target clock period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackReport {
+    /// Target clock period, ps.
+    pub clock_period_ps: f64,
+    /// `(endpoint DFF, data arrival ps, slack ps)`, worst (most negative)
+    /// slack first.
+    pub endpoints: Vec<(NodeId, f64, f64)>,
+}
+
+impl SlackReport {
+    /// Computes setup slack for every DFF endpoint:
+    /// `slack = period − setup − arrival`.
+    pub fn against(report: &TimingReport, clock_period_ps: f64, setup_ps: f64) -> SlackReport {
+        let mut endpoints: Vec<(NodeId, f64, f64)> = report
+            .dff_arrivals()
+            .iter()
+            .map(|&(d, at)| (d, at, clock_period_ps - setup_ps - at))
+            .collect();
+        endpoints.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite slack"));
+        SlackReport {
+            clock_period_ps,
+            endpoints,
+        }
+    }
+
+    /// Worst (most negative) slack, if the design has any endpoint.
+    pub fn worst_slack_ps(&self) -> Option<f64> {
+        self.endpoints.first().map(|&(_, _, s)| s)
+    }
+
+    /// Total negative slack (sum of negative endpoint slacks).
+    pub fn total_negative_slack_ps(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|&(_, _, s)| s.min(0.0))
+            .sum()
+    }
+
+    /// Number of violated (negative-slack) endpoints.
+    pub fn violation_count(&self) -> usize {
+        self.endpoints.iter().filter(|&&(_, _, s)| s < 0.0).count()
+    }
+
+    /// Renders a PrimeTime-style endpoint summary (worst `limit` paths).
+    pub fn render(&self, netlist: &Netlist, limit: usize) -> String {
+        let mut out = format!(
+            "clock period {:.1} ps — {} endpoints, {} violated, WNS {:.1} ps, TNS {:.1} ps\n",
+            self.clock_period_ps,
+            self.endpoints.len(),
+            self.violation_count(),
+            self.worst_slack_ps().unwrap_or(0.0),
+            self.total_negative_slack_ps(),
+        );
+        for &(d, at, slack) in self.endpoints.iter().take(limit) {
+            out.push_str(&format!(
+                "  {:<24} arrival {:>8.1} ps  slack {:>8.1} ps {}\n",
+                netlist.node(d).name(),
+                at,
+                slack,
+                if slack < 0.0 { "(VIOLATED)" } else { "" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moss_netlist::{CellKind, CellLibrary};
+
+    fn two_flop_netlist() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let fast = nl.add_cell(CellKind::Dff, "fast_reg", &[a]).unwrap();
+        let g1 = nl.add_cell(CellKind::Inv, "u1", &[fast]).unwrap();
+        let g2 = nl.add_cell(CellKind::Xor2, "u2", &[g1, fast]).unwrap();
+        let slow = nl.add_cell(CellKind::Dff, "slow_reg", &[g2]).unwrap();
+        nl.add_output("q", slow);
+        nl
+    }
+
+    fn report() -> (Netlist, TimingReport) {
+        let nl = two_flop_netlist();
+        let r = TimingReport::analyze(&nl, &CellLibrary::default()).unwrap();
+        (nl, r)
+    }
+
+    #[test]
+    fn slack_orders_worst_first() {
+        let (nl, r) = report();
+        let s = SlackReport::against(&r, 1000.0, 30.0);
+        assert_eq!(s.endpoints.len(), 2);
+        assert!(s.endpoints[0].2 <= s.endpoints[1].2);
+        assert_eq!(nl.node(s.endpoints[0].0).name(), "slow_reg");
+    }
+
+    #[test]
+    fn tight_clock_creates_violations() {
+        let (_, r) = report();
+        let relaxed = SlackReport::against(&r, 10_000.0, 30.0);
+        assert_eq!(relaxed.violation_count(), 0);
+        assert_eq!(relaxed.total_negative_slack_ps(), 0.0);
+        let tight = SlackReport::against(&r, 50.0, 30.0);
+        assert!(tight.violation_count() > 0);
+        assert!(tight.worst_slack_ps().unwrap() < 0.0);
+        assert!(tight.total_negative_slack_ps() < 0.0);
+    }
+
+    #[test]
+    fn render_mentions_violated_endpoints() {
+        let (nl, r) = report();
+        let s = SlackReport::against(&r, 50.0, 30.0);
+        let text = s.render(&nl, 10);
+        assert!(text.contains("VIOLATED"));
+        assert!(text.contains("slow_reg"));
+        assert!(text.contains("WNS"));
+    }
+
+    #[test]
+    fn min_period_has_zero_worst_slack() {
+        let (_, r) = report();
+        let s = SlackReport::against(&r, r.min_clock_period_ps(), 30.0);
+        let wns = s.worst_slack_ps().unwrap();
+        assert!(wns.abs() < 1e-9, "WNS at the minimum period is 0: {wns}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Cross-crate property tests: the synthesis flow preserves RTL semantics.
+//!
+//! These are the load-bearing correctness checks for the whole ground-truth
+//! pipeline — if synthesis, the gate-level simulator and the RTL
+//! interpreter ever disagree, every label in the experiments is suspect.
+
+use moss_rtl::{Interpreter, Module};
+use moss_sim::GateSim;
+use moss_synth::{lower_to_aig, synthesize, SynthOptions, SynthResult};
+use proptest::prelude::*;
+
+/// Drives the RTL interpreter and the synthesized gate-level netlist with
+/// identical random stimulus and asserts bit-exact outputs every cycle.
+fn assert_equivalent(module: &Module, synth: &SynthResult, cycles: u32, seed: u64) {
+    let mut interp = Interpreter::new(module).expect("valid module");
+    let mut sim = GateSim::new(&synth.netlist).expect("valid netlist");
+    for b in &synth.dffs {
+        sim.set_state(b.dff, b.reset);
+    }
+    sim.full_settle();
+
+    let inputs: Vec<_> = module
+        .inputs()
+        .into_iter()
+        .map(|id| {
+            let s = module.signal(id);
+            let pins: Vec<_> = (0..s.width)
+                .map(|i| {
+                    let name = if s.width == 1 {
+                        s.name.clone()
+                    } else {
+                        format!("{}[{i}]", s.name)
+                    };
+                    synth.netlist.find(&name).expect("input pin exists")
+                })
+                .collect();
+            (id, s.width, pins)
+        })
+        .collect();
+    let outputs: Vec<_> = module
+        .outputs()
+        .into_iter()
+        .map(|id| {
+            let s = module.signal(id);
+            let pins: Vec<_> = (0..s.width)
+                .map(|i| {
+                    let name = if s.width == 1 {
+                        s.name.clone()
+                    } else {
+                        format!("{}[{i}]", s.name)
+                    };
+                    synth.netlist.find(&name).expect("output pin exists")
+                })
+                .collect();
+            (id, s.name.clone(), pins)
+        })
+        .collect();
+
+    let mut state = seed | 1;
+    for cycle in 0..cycles {
+        let mut drive: Vec<(moss_rtl::SignalId, u64)> = Vec::new();
+        for (id, width, pins) in &inputs {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let value = moss_rtl::mask(state, *width);
+            drive.push((*id, value));
+            for (i, &pin) in pins.iter().enumerate() {
+                sim.set_input(pin, (value >> i) & 1 == 1);
+            }
+        }
+        interp.step(&drive);
+        sim.step();
+        for (id, name, pins) in &outputs {
+            let expect = interp.peek(*id);
+            let mut got = 0u64;
+            for (i, &pin) in pins.iter().enumerate() {
+                got |= (sim.value(pin) as u64) << i;
+            }
+            assert_eq!(
+                got, expect,
+                "output '{name}' diverged at cycle {cycle}: netlist {got:#x} vs rtl {expect:#x} ({})",
+                module.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn benchmark_suite_synthesizes_equivalently() {
+    for module in moss_datagen::benchmark_suite() {
+        // The multiplier is large; fewer cycles keep the test fast.
+        let cycles = if module.signals().len() > 40 { 16 } else { 64 };
+        let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
+        assert_equivalent(&module, &synth, cycles, 0xabcd);
+    }
+}
+
+#[test]
+fn all_mapping_variants_are_equivalent() {
+    let module = moss_datagen::error_logger(6, 6);
+    for seed in 0..6u64 {
+        let synth = synthesize(&module, &SynthOptions::variant(seed)).expect("synthesizes");
+        assert_equivalent(&module, &synth, 48, seed ^ 0x77);
+    }
+}
+
+#[test]
+fn aig_lowering_preserves_sequential_behaviour() {
+    for seed in 0..5u64 {
+        let module = moss_datagen::random_module(seed + 400, moss_datagen::SizeClass::Small);
+        let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
+        let aig = lower_to_aig(&synth.netlist).expect("lowers");
+        // Remap the DFF bindings through the node map so the checker can
+        // apply reset state to the AIG.
+        let dffs: Vec<_> = synth
+            .dffs
+            .iter()
+            .map(|b| {
+                let mut nb = b.clone();
+                nb.dff = aig.node_map[b.dff.index()].expect("dff mapped");
+                nb
+            })
+            .collect();
+        let wrapped = SynthResult {
+            netlist: aig.netlist,
+            dffs,
+        };
+        assert_equivalent(&module, &wrapped, 48, seed ^ 0x99);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid random design synthesizes to a bit-exact netlist.
+    #[test]
+    fn random_designs_synthesize_equivalently(seed in 0u64..5000, variant in 0u64..8) {
+        let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
+        let synth = synthesize(&module, &SynthOptions::variant(variant)).expect("synthesizes");
+        assert_equivalent(&module, &synth, 24, seed ^ 0x5a5a);
+    }
+
+    /// Levelization of any synthesized netlist is a valid topological order.
+    #[test]
+    fn levelization_is_topological(seed in 0u64..5000) {
+        let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
+        let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
+        let nl = &synth.netlist;
+        let lv = moss_netlist::Levelization::of(nl).expect("acyclic");
+        for id in nl.node_ids() {
+            if nl.kind(id).is_combinational_cell() {
+                for &f in nl.fanins(id) {
+                    let flevel = if nl.kind(f).is_dff() { 0 } else { lv.level(f) };
+                    prop_assert!(flevel < lv.level(id), "fanin level must be lower");
+                }
+            }
+        }
+    }
+
+    /// Structural-Verilog round trips preserve structure and behaviour
+    /// (netlist-vs-netlist: identical positional stimulus, identical
+    /// positional outputs; port names are escaped by the writer).
+    #[test]
+    fn verilog_round_trip_preserves_behaviour(seed in 0u64..3000) {
+        let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
+        let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
+        let text = moss_netlist::write_verilog(&synth.netlist);
+        let parsed = moss_netlist::parse_verilog(&text).expect("parses back");
+        prop_assert_eq!(parsed.cell_count(), synth.netlist.cell_count());
+        prop_assert_eq!(parsed.dff_count(), synth.netlist.dff_count());
+
+        let mut sim_a = GateSim::new(&synth.netlist).expect("valid");
+        let mut sim_b = GateSim::new(&parsed).expect("valid");
+        let ins_a = synth.netlist.primary_inputs();
+        // The parser appends one unused placeholder input; positional
+        // correspondence holds for the real ports.
+        let ins_b = parsed.primary_inputs();
+        let outs_a = synth.netlist.primary_outputs();
+        let outs_b = parsed.primary_outputs();
+        prop_assert_eq!(outs_a.len(), outs_b.len());
+        let mut state = seed | 1;
+        for cycle in 0..16u32 {
+            for (i, &pa) in ins_a.iter().enumerate() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let bit = state & 1 == 1;
+                sim_a.set_input(pa, bit);
+                sim_b.set_input(ins_b[i], bit);
+            }
+            sim_a.step();
+            sim_b.step();
+            for (j, (&oa, &ob)) in outs_a.iter().zip(&outs_b).enumerate() {
+                prop_assert_eq!(
+                    sim_a.value(oa),
+                    sim_b.value(ob),
+                    "output {} diverged at cycle {}",
+                    j,
+                    cycle
+                );
+            }
+        }
+    }
+
+    /// The RTL optimizer preserves behaviour end-to-end: optimized RTL,
+    /// synthesized, matches the *original* interpreter bit-for-bit.
+    #[test]
+    fn rtl_optimizer_preserves_synthesized_behaviour(seed in 0u64..4000) {
+        let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
+        let (optimized, _) = moss_rtl::optimize(&module);
+        let synth = synthesize(&optimized, &SynthOptions::default()).expect("synthesizes");
+        // Port names/order survive optimization, so the original module's
+        // interpreter can be compared against the optimized netlist.
+        assert_equivalent(&module, &synth, 20, seed ^ 0x0b7);
+    }
+
+    /// Toggle rates stay in [0, 1]: no node toggles more than once per cycle.
+    #[test]
+    fn toggle_rates_are_bounded(seed in 0u64..2000) {
+        let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
+        let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
+        let resets: Vec<_> = synth.dffs.iter().map(|b| (b.dff, b.reset)).collect();
+        let report = moss_sim::toggle_rates(&synth.netlist, &resets, 64, seed).expect("simulates");
+        for id in synth.netlist.node_ids() {
+            let r = report.rate(id);
+            prop_assert!((0.0..=1.0).contains(&r), "rate {r} out of range");
+        }
+    }
+}

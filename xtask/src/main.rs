@@ -1,0 +1,1 @@
+fn main() { println!("xtask: no tasks defined; see crates/bench for experiment binaries"); }

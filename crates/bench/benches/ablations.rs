@@ -1,12 +1,16 @@
 //! Ablation benches for the design choices DESIGN.md calls out: adaptive
 //! attention vs uniform aggregation, two-phase vs single-phase propagation,
-//! and the propagation-iteration count.
+//! and the propagation-iteration count (moss-benchkit harness).
+//!
+//! Run with `cargo bench -p moss-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use moss_benchkit::Suite;
 use moss_gnn::{CircuitGnn, CircuitGraph, Clustering, GnnConfig};
 use moss_tensor::{Graph, ParamStore, Tensor};
 
-fn prepared_circuit() -> (moss_netlist::Netlist, CircuitGraph) {
+fn prepared_circuit() -> CircuitGraph {
     let m = moss_datagen::prbs_generator(6, 16);
     let synth = moss_synth::synthesize(&m, &moss_synth::SynthOptions::default()).unwrap();
     let n = synth.netlist.node_count();
@@ -15,23 +19,22 @@ fn prepared_circuit() -> (moss_netlist::Netlist, CircuitGraph) {
         assignment: (0..n).map(|i| i % 3).collect(),
         count: 3,
     };
-    let circuit = CircuitGraph::new(&synth.netlist, features, clusters).unwrap();
-    (synth.netlist, circuit)
+    CircuitGraph::new(&synth.netlist, features, clusters).unwrap()
 }
 
-fn forward_time(c: &mut Criterion, name: &str, config: GnnConfig, circuit: &CircuitGraph) {
+fn forward_time(suite: &mut Suite, name: &str, config: GnnConfig, circuit: &CircuitGraph) {
     let mut store = ParamStore::new();
     let gnn = CircuitGnn::new(config, &mut store, 5);
-    c.bench_function(name, |b| {
-        b.iter(|| {
-            let mut g = Graph::new();
-            gnn.forward(&mut g, &store, circuit)
-        });
+    suite.bench(name, || {
+        let mut g = Graph::new();
+        std::hint::black_box(gnn.forward(&mut g, &store, circuit));
     });
 }
 
-fn bench_aggregator_ablation(c: &mut Criterion) {
-    let (_, circuit) = prepared_circuit();
+fn main() {
+    let mut suite =
+        Suite::new("ablations").with_budget(Duration::from_millis(100), Duration::from_millis(500));
+    let circuit = prepared_circuit();
     let base = GnnConfig {
         d_in: 8,
         d_hidden: 16,
@@ -40,9 +43,10 @@ fn bench_aggregator_ablation(c: &mut Criterion) {
         attention: true,
         two_phase: true,
     };
-    forward_time(c, "forward_adaptive_attention", base, &circuit);
+
+    forward_time(&mut suite, "forward_adaptive_attention", base, &circuit);
     forward_time(
-        c,
+        &mut suite,
         "forward_uniform_mean",
         GnnConfig {
             attention: false,
@@ -50,21 +54,10 @@ fn bench_aggregator_ablation(c: &mut Criterion) {
         },
         &circuit,
     );
-}
 
-fn bench_phase_ablation(c: &mut Criterion) {
-    let (_, circuit) = prepared_circuit();
-    let base = GnnConfig {
-        d_in: 8,
-        d_hidden: 16,
-        iterations: 4,
-        aggregators: 3,
-        attention: true,
-        two_phase: true,
-    };
-    forward_time(c, "forward_two_phase", base, &circuit);
+    forward_time(&mut suite, "forward_two_phase", base, &circuit);
     forward_time(
-        c,
+        &mut suite,
         "forward_single_phase",
         GnnConfig {
             two_phase: false,
@@ -72,37 +65,16 @@ fn bench_phase_ablation(c: &mut Criterion) {
         },
         &circuit,
     );
-}
 
-fn bench_iteration_sweep(c: &mut Criterion) {
-    let (_, circuit) = prepared_circuit();
-    let mut group = c.benchmark_group("propagation_iterations");
-    group.sample_size(10);
     for iters in [1usize, 4, 10] {
-        let config = GnnConfig {
-            d_in: 8,
-            d_hidden: 16,
-            iterations: iters,
-            aggregators: 3,
-            attention: true,
-            two_phase: true,
-        };
-        let mut store = ParamStore::new();
-        let gnn = CircuitGnn::new(config, &mut store, 5);
-        group.bench_with_input(BenchmarkId::from_parameter(iters), &gnn, |b, gnn| {
-            b.iter(|| {
-                let mut g = Graph::new();
-                gnn.forward(&mut g, &store, &circuit)
-            });
-        });
+        forward_time(
+            &mut suite,
+            &format!("propagation_iterations/{iters}"),
+            GnnConfig {
+                iterations: iters,
+                ..base
+            },
+            &circuit,
+        );
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_aggregator_ablation,
-    bench_phase_ablation,
-    bench_iteration_sweep
-);
-criterion_main!(benches);

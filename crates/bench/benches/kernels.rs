@@ -1,0 +1,46 @@
+//! Backend kernel comparison at GNN-realistic matmul shapes.
+//!
+//! Emits `BENCH_kernels.json` at the workspace root so the perf
+//! trajectory of the compute backends is recorded PR over PR.
+//!
+//! Run with `cargo bench -p moss-bench --bench kernels`.
+
+use moss_benchkit::Suite;
+use moss_tensor::backend::{configured_threads, Backend};
+use moss_tensor::{Blocked, Naive, Parallel, Tensor};
+
+/// The shapes named in the issue: a per-cluster GNN update and a full
+/// design-level batch.
+const SHAPES: &[(usize, usize, usize)] = &[(256, 16, 16), (2048, 64, 64)];
+
+fn main() {
+    let mut suite = Suite::new("kernels");
+    let parallel = Parallel::new();
+    let backends: [(&str, &dyn Backend); 3] = [
+        ("naive", &Naive),
+        ("blocked", &Blocked),
+        ("parallel", &parallel),
+    ];
+    eprintln!("threads for parallel backend: {}", configured_threads());
+
+    for &(m, k, n) in SHAPES {
+        let a = Tensor::xavier(m, k, 1);
+        let b = Tensor::xavier(k, n, 2);
+        let flops = (2 * m * k * n) as u64;
+        for (name, backend) in backends {
+            suite.bench_with_flops(&format!("matmul/{name}/{m}x{k}x{n}"), flops, || {
+                std::hint::black_box(backend.matmul(&a, &b));
+            });
+        }
+        // The backward-pass form that dominates weight-gradient time.
+        let g = Tensor::xavier(m, n, 3);
+        for (name, backend) in backends {
+            suite.bench_with_flops(&format!("matmul_at_b/{name}/{m}x{k}x{n}"), flops, || {
+                std::hint::black_box(backend.matmul_at_b(&a, &g));
+            });
+        }
+    }
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    suite.write_json(out).expect("write BENCH_kernels.json");
+}

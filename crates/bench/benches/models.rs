@@ -1,8 +1,12 @@
-//! Criterion benches for the learned components: encoder embedding, node
-//! clustering, GNN forward, and a full training step.
+//! Benches for the learned components: encoder embedding, node clustering,
+//! GNN forward, and a full training step (moss-benchkit harness).
+//!
+//! Run with `cargo bench -p moss-bench --bench models`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use moss::{CircuitSample, MossConfig, MossModel, MossVariant, SampleOptions};
+use moss_benchkit::Suite;
 use moss_llm::{EncoderConfig, TextEncoder};
 use moss_netlist::CellLibrary;
 use moss_tensor::{Adam, Graph, ParamStore};
@@ -33,21 +37,19 @@ fn fixture(module: moss_rtl::Module) -> Fixture {
     Fixture { model, store, prep }
 }
 
-fn bench_encoder(c: &mut Criterion) {
+fn bench_encoder(suite: &mut Suite) {
     let mut store = ParamStore::new();
     let encoder = TextEncoder::new(EncoderConfig::small(), &mut store, 1);
-    c.bench_function("llm_embed_register_prompt", |b| {
-        b.iter(|| {
-            encoder.embed_text(
-                &store,
-                "register acc is a 24 bit state element updated every clock cycle \
-                 with acc + prod ; it depends on input a and input b",
-            )
-        });
+    suite.bench("llm_embed_register_prompt", || {
+        std::hint::black_box(encoder.embed_text(
+            &store,
+            "register acc is a 24 bit state element updated every clock cycle \
+             with acc + prod ; it depends on input a and input b",
+        ));
     });
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn bench_clustering(suite: &mut Suite) {
     let m = moss_datagen::signed_mac(10, 12);
     let synth = moss_synth::synthesize(&m, &moss_synth::SynthOptions::default()).unwrap();
     let n = synth.netlist.node_count();
@@ -55,49 +57,46 @@ fn bench_clustering(c: &mut Criterion) {
         .map(|i| vec![(i % 13) as f32 / 13.0, (i % 7) as f32 / 7.0])
         .collect();
     let st: Vec<(f32, f32)> = (0..n).map(|i| ((i % 3) as f32, (i % 5) as f32)).collect();
-    c.bench_function("dbscan_hierarchical_1348_cells", |b| {
-        b.iter(|| moss_gnn::cluster_nodes(&embs, &st, &moss_gnn::ClusterConfig::default()));
+    suite.bench("dbscan_hierarchical_1348_cells", || {
+        std::hint::black_box(moss_gnn::cluster_nodes(
+            &embs,
+            &st,
+            &moss_gnn::ClusterConfig::default(),
+        ));
     });
 }
 
-fn bench_gnn_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gnn_forward");
-    group.sample_size(10);
-    for m in [moss_datagen::max_selector(5, 8), moss_datagen::signed_mac(10, 12)] {
+fn bench_gnn_forward(suite: &mut Suite) {
+    for m in [
+        moss_datagen::max_selector(5, 8),
+        moss_datagen::signed_mac(10, 12),
+    ] {
         let fx = fixture(m);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(fx.prep.name.clone()),
-            &fx,
-            |b, fx| b.iter(|| fx.model.predict(&fx.store, &fx.prep)),
-        );
+        suite.bench(&format!("gnn_forward/{}", fx.prep.name), || {
+            std::hint::black_box(fx.model.predict(&fx.store, &fx.prep));
+        });
     }
-    group.finish();
 }
 
-fn bench_train_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train_step");
-    group.sample_size(10);
+fn bench_train_step(suite: &mut Suite) {
     let fx = fixture(moss_datagen::max_selector(5, 8));
     let mut store = fx.store.clone();
     let mut opt = Adam::new(1e-3);
-    group.bench_function("max_selector_forward_backward_step", |b| {
-        b.iter(|| {
-            let mut g = Graph::new();
-            let l = fx.model.local_losses(&mut g, &store, &fx.prep);
-            let s1 = g.add(l.toggle, l.arrival);
-            let total = g.add(s1, l.power);
-            let grads = g.backward(total);
-            opt.step(&mut store, &grads);
-        });
+    suite.bench("train_step/max_selector_forward_backward_step", || {
+        let mut g = Graph::new();
+        let l = fx.model.local_losses(&mut g, &store, &fx.prep);
+        let s1 = g.add(l.toggle, l.arrival);
+        let total = g.add(s1, l.power);
+        let grads = g.backward(total);
+        opt.step(&mut store, &grads);
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_encoder,
-    bench_clustering,
-    bench_gnn_forward,
-    bench_train_step
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite =
+        Suite::new("models").with_budget(Duration::from_millis(100), Duration::from_millis(500));
+    bench_encoder(&mut suite);
+    bench_clustering(&mut suite);
+    bench_gnn_forward(&mut suite);
+    bench_train_step(&mut suite);
+}

@@ -1,78 +1,76 @@
-//! Criterion benches for the EDA substrates: synthesis, simulation, static
-//! timing analysis, power estimation, and AIG lowering throughput.
+//! Benches for the EDA substrates: synthesis, simulation, static timing
+//! analysis, and AIG lowering throughput (moss-benchkit harness).
+//!
+//! Run with `cargo bench -p moss-bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use moss_benchkit::Suite;
 use moss_netlist::CellLibrary;
 use moss_sim::GateSim;
 use moss_synth::{lower_to_aig, synthesize, SynthOptions};
 use moss_timing::TimingReport;
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesis");
-    group.sample_size(10);
+fn bench_synthesis(suite: &mut Suite) {
     for m in [
         moss_datagen::max_selector(5, 8),
         moss_datagen::signed_mac(10, 12),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
-            b.iter(|| synthesize(m, &SynthOptions::default()).expect("synthesizes"));
+        suite.bench(&format!("synthesis/{}", m.name()), || {
+            std::hint::black_box(synthesize(&m, &SynthOptions::default()).expect("synthesizes"));
         });
     }
-    group.finish();
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation_1k_cycles");
-    group.sample_size(10);
+fn bench_simulation(suite: &mut Suite) {
     for m in [
         moss_datagen::prbs_generator(6, 16),
         moss_datagen::wb_data_mux(32, 38),
     ] {
         let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}_{}c", m.name(), synth.netlist.cell_count())),
-            &synth.netlist,
-            |b, nl| {
-                b.iter(|| {
-                    let mut sim = GateSim::new(nl).expect("valid");
-                    moss_sim::simulate_random(&mut sim, 1_000, 7)
-                });
-            },
+        let name = format!(
+            "simulation_1k_cycles/{}_{}c",
+            m.name(),
+            synth.netlist.cell_count()
         );
+        suite.bench(&name, || {
+            let mut sim = GateSim::new(&synth.netlist).expect("valid");
+            std::hint::black_box(moss_sim::simulate_random(&mut sim, 1_000, 7));
+        });
     }
-    group.finish();
 }
 
-fn bench_sta(c: &mut Criterion) {
-    let mut group = c.benchmark_group("static_timing_analysis");
+fn bench_sta(suite: &mut Suite) {
     let lib = CellLibrary::default();
-    for m in [moss_datagen::signed_mac(10, 12), moss_datagen::mult_16x32_to_48()] {
+    for m in [
+        moss_datagen::signed_mac(10, 12),
+        moss_datagen::mult_16x32_to_48(),
+    ] {
         let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}_{}c", m.name(), synth.netlist.cell_count())),
-            &synth.netlist,
-            |b, nl| b.iter(|| TimingReport::analyze(nl, &lib).expect("analyzes")),
+        let name = format!(
+            "static_timing_analysis/{}_{}c",
+            m.name(),
+            synth.netlist.cell_count()
         );
+        suite.bench(&name, || {
+            std::hint::black_box(TimingReport::analyze(&synth.netlist, &lib).expect("analyzes"));
+        });
     }
-    group.finish();
 }
 
-fn bench_aig_lowering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aig_lowering");
-    group.sample_size(10);
+fn bench_aig_lowering(suite: &mut Suite) {
     let m = moss_datagen::signed_mac(10, 12);
     let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
-    group.bench_function("signed_mac", |b| {
-        b.iter(|| lower_to_aig(&synth.netlist).expect("lowers"));
+    suite.bench("aig_lowering/signed_mac", || {
+        std::hint::black_box(lower_to_aig(&synth.netlist).expect("lowers"));
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_synthesis,
-    bench_simulation,
-    bench_sta,
-    bench_aig_lowering
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("substrates")
+        .with_budget(Duration::from_millis(100), Duration::from_millis(500));
+    bench_synthesis(&mut suite);
+    bench_simulation(&mut suite);
+    bench_sta(&mut suite);
+    bench_aig_lowering(&mut suite);
+}

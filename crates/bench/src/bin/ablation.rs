@@ -5,9 +5,7 @@
 //!
 //! Usage: `cargo run -p moss-bench --bin ablation --release [-- --tiny|--quick|--full]`
 
-use moss::{
-    metrics, CircuitSample, MossConfig, MossModel, MossVariant, TrainConfig, Trainer,
-};
+use moss::{metrics, CircuitSample, MossConfig, MossModel, MossVariant, TrainConfig, Trainer};
 use moss_bench::pipeline::{build_samples, build_world, World};
 
 fn run_config(
@@ -28,7 +26,13 @@ fn run_config(
         .iter()
         .map(|s| {
             model
-                .prepare(s, &world.encoder, &store, &world.lib, world.config.clock_mhz)
+                .prepare(
+                    s,
+                    &world.encoder,
+                    &store,
+                    &world.lib,
+                    world.config.clock_mhz,
+                )
                 .expect("prepares")
         })
         .collect();
@@ -65,15 +69,25 @@ fn main() {
     let mut rows = Vec::new();
     eprintln!("# iterations sweep…");
     for iters in [1usize, 2, 4, 8] {
-        rows.push(run_config(&world, &samples, &format!("iterations={iters}"), |c| {
-            c.iterations = iters;
-        }));
+        rows.push(run_config(
+            &world,
+            &samples,
+            &format!("iterations={iters}"),
+            |c| {
+                c.iterations = iters;
+            },
+        ));
     }
     eprintln!("# hidden-width sweep…");
     for d in [8usize, 16, 32] {
-        rows.push(run_config(&world, &samples, &format!("d_hidden={d}"), |c| {
-            c.d_hidden = d;
-        }));
+        rows.push(run_config(
+            &world,
+            &samples,
+            &format!("d_hidden={d}"),
+            |c| {
+                c.d_hidden = d;
+            },
+        ));
     }
     eprintln!("# propagation-phase ablation…");
     rows.push(run_config(&world, &samples, "two_phase=on", |_| {}));
@@ -81,8 +95,14 @@ fn main() {
         c.two_phase = false;
     }));
 
-    println!("\nAblation — design-choice accuracy (train-set fit, {} circuits)", samples.len());
-    println!("{:<18} {:>8} {:>8} {:>8}", "configuration", "ATP", "TRP", "PP");
+    println!(
+        "\nAblation — design-choice accuracy (train-set fit, {} circuits)",
+        samples.len()
+    );
+    println!(
+        "{:<18} {:>8} {:>8} {:>8}",
+        "configuration", "ATP", "TRP", "PP"
+    );
     for (label, atp, trp, pp) in rows {
         println!("{label:<18} {atp:>8.1} {trp:>8.1} {pp:>8.1}");
     }

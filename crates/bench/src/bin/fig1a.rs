@@ -11,9 +11,7 @@
 //! Usage: `cargo run -p moss-bench --bin fig1a --release [-- --tiny|--quick|--full]`
 
 use moss::MossVariant;
-use moss_bench::pipeline::{
-    build_samples, build_world, score, train_baseline, train_variant,
-};
+use moss_bench::pipeline::{build_samples, build_world, score, train_baseline, train_variant};
 use moss_datagen::{pipeline_reg, signed_mac};
 use moss_rtl::Module;
 
@@ -62,12 +60,24 @@ fn main() {
     for sample in &sweep_samples {
         let prep_b = baseline
             .model
-            .prepare(sample, &world.encoder, &baseline.store, &world.lib, config.clock_mhz)
+            .prepare(
+                sample,
+                &world.encoder,
+                &baseline.store,
+                &world.lib,
+                config.clock_mhz,
+            )
             .expect("sweep prepares");
         let s_b = score(&baseline.model.predict(&baseline.store, &prep_b), &prep_b);
         let prep_m = moss_run
             .model
-            .prepare(sample, &world.encoder, &moss_run.store, &world.lib, config.clock_mhz)
+            .prepare(
+                sample,
+                &world.encoder,
+                &moss_run.store,
+                &world.lib,
+                config.clock_mhz,
+            )
             .expect("sweep prepares");
         let s_m = score(&moss_run.model.predict(&moss_run.store, &prep_m), &prep_m);
         rows.push((

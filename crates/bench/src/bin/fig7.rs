@@ -12,7 +12,10 @@ fn main() {
     let world = build_world(config);
     eprintln!("# building ground truth…");
     let samples = build_samples(&world, &moss_datagen::benchmark_suite());
-    eprintln!("# pre-training full MOSS ({} epochs)…", config.train.pretrain_epochs);
+    eprintln!(
+        "# pre-training full MOSS ({} epochs)…",
+        config.train.pretrain_epochs
+    );
     let run = train_variant(&world, MossVariant::Full, &samples);
 
     println!("\nFig. 7 — losses in the pre-training section (reproduced)");
@@ -37,6 +40,10 @@ fn main() {
         "\ntotal {:.4} → {:.4} ({}); paper shape: all components decrease steadily",
         first.total,
         last.total,
-        if last.total < first.total { "decreasing ✓" } else { "NOT decreasing ✗" },
+        if last.total < first.total {
+            "decreasing ✓"
+        } else {
+            "NOT decreasing ✗"
+        },
     );
 }

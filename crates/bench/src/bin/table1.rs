@@ -11,7 +11,10 @@ use moss_bench::pipeline::{
 
 fn main() {
     let config = moss_bench::config_from_args();
-    eprintln!("# building world (encoder fine-tune, {} corpus designs)…", config.corpus_size);
+    eprintln!(
+        "# building world (encoder fine-tune, {} corpus designs)…",
+        config.corpus_size
+    );
     let world = build_world(config);
     // Generalization protocol, mirroring the paper: train on a corpus of
     // *other* designs (smaller/larger cousins from the same structural
@@ -36,7 +39,10 @@ fn main() {
         moss_datagen::signed_mac(14, 18),
     ];
     for s in 0..5u64 {
-        train_modules.push(moss_datagen::random_module(0x7a41 + s, moss_datagen::SizeClass::Medium));
+        train_modules.push(moss_datagen::random_module(
+            0x7a41 + s,
+            moss_datagen::SizeClass::Medium,
+        ));
     }
     let modules = moss_datagen::benchmark_suite();
     let train_samples = build_samples_variant(&world, &train_modules, 0);
@@ -53,7 +59,10 @@ fn main() {
         eprintln!("# training {}…", variant.label());
         let run = train_variant(&world, variant, &train_samples);
         let eval_preps = prepare_for(&world, &run, &eval_samples);
-        columns.push((variant.label().to_owned(), evaluate_variant_on(&run, &eval_preps)));
+        columns.push((
+            variant.label().to_owned(),
+            evaluate_variant_on(&run, &eval_preps),
+        ));
     }
 
     // Render the table.

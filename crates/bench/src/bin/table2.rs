@@ -27,9 +27,16 @@ fn main() {
     for s in 0..n_random {
         train_modules.push(random_module(0x712a + s, SizeClass::Small));
     }
-    eprintln!("# building training ground truth ({} designs × 2 mappings)…", train_modules.len());
+    eprintln!(
+        "# building training ground truth ({} designs × 2 mappings)…",
+        train_modules.len()
+    );
     let mut train_samples = moss_bench::pipeline::build_samples_variant(&world, &train_modules, 0);
-    train_samples.extend(moss_bench::pipeline::build_samples_variant(&world, &train_modules, 1));
+    train_samples.extend(moss_bench::pipeline::build_samples_variant(
+        &world,
+        &train_modules,
+        1,
+    ));
 
     // Six evaluation groups. Each group pairs known RTL with *unseen
     // synthesis mappings* (variants 2–7 never appear in training): the

@@ -1,7 +1,12 @@
 //! Shared experiment pipeline: build the world (library + fine-tuned
 //! encoder), prepare circuit samples, train model variants, and score them
 //! with the paper's metrics. Used by every table/figure regeneration binary
-//! and by the Criterion benches.
+//! and by the benches.
+//!
+//! Per-sample stages (ground-truth generation, preparation, evaluation)
+//! are independent across samples, so they fan out through
+//! [`moss_tensor::par_map`]: deterministic ordered results, thread count
+//! from `MOSS_THREADS`.
 
 use moss::{
     metrics, AlignEpoch, CircuitSample, DeepSeq2, DeepSeq2Config, MossConfig, MossModel,
@@ -142,42 +147,35 @@ pub fn build_samples_variant(
     modules: &[Module],
     synth_seed: u64,
 ) -> Vec<CircuitSample> {
-    modules
-        .iter()
-        .enumerate()
-        .map(|(i, m)| {
-            CircuitSample::build(
-                m,
-                &world.lib,
-                &SampleOptions {
-                    synth: moss_synth::SynthOptions::variant(synth_seed),
-                    sim_cycles: world.config.sim_cycles,
-                    seed: world.config.seed ^ ((i as u64) << 8) ^ (synth_seed << 40),
-                    clock_mhz: world.config.clock_mhz,
-                },
-            )
-            .expect("benchmark modules synthesize")
-        })
-        .collect()
+    moss_tensor::par_map(modules, |i, m| {
+        CircuitSample::build(
+            m,
+            &world.lib,
+            &SampleOptions {
+                synth: moss_synth::SynthOptions::variant(synth_seed),
+                sim_cycles: world.config.sim_cycles,
+                seed: world.config.seed ^ ((i as u64) << 8) ^ (synth_seed << 40),
+                clock_mhz: world.config.clock_mhz,
+            },
+        )
+        .expect("benchmark modules synthesize")
+    })
 }
 
 /// Prepares additional (e.g. held-out) samples for an already-trained
 /// variant run.
 pub fn prepare_for(world: &World, run: &VariantRun, samples: &[CircuitSample]) -> Vec<Prepared> {
-    samples
-        .iter()
-        .map(|s| {
-            run.model
-                .prepare(
-                    s,
-                    &world.encoder,
-                    &run.feature_store,
-                    &world.lib,
-                    world.config.clock_mhz,
-                )
-                .expect("samples prepare")
-        })
-        .collect()
+    moss_tensor::par_map(samples, |_, s| {
+        run.model
+            .prepare(
+                s,
+                &world.encoder,
+                &run.feature_store,
+                &world.lib,
+                world.config.clock_mhz,
+            )
+            .expect("samples prepare")
+    })
 }
 
 /// Prepares held-out samples for a trained baseline.
@@ -186,51 +184,44 @@ pub fn prepare_for_baseline(
     run: &BaselineRun,
     samples: &[CircuitSample],
 ) -> Vec<Prepared> {
-    samples
-        .iter()
-        .map(|s| {
-            run.model
-                .prepare(s, &world.encoder, &run.store, &world.lib, world.config.clock_mhz)
-                .expect("samples prepare")
-        })
-        .collect()
+    moss_tensor::par_map(samples, |_, s| {
+        run.model
+            .prepare(
+                s,
+                &world.encoder,
+                &run.store,
+                &world.lib,
+                world.config.clock_mhz,
+            )
+            .expect("samples prepare")
+    })
 }
 
 /// Scores a trained variant on arbitrary prepared circuits.
 pub fn evaluate_variant_on(run: &VariantRun, preps: &[Prepared]) -> Vec<CircuitScores> {
-    preps
-        .iter()
-        .map(|p| score(&run.model.predict(&run.store, p), p))
-        .collect()
+    moss_tensor::par_map(preps, |_, p| score(&run.model.predict(&run.store, p), p))
 }
 
 /// Scores a trained baseline on arbitrary prepared circuits.
 pub fn evaluate_baseline_on(run: &BaselineRun, preps: &[Prepared]) -> Vec<CircuitScores> {
-    preps
-        .iter()
-        .map(|p| score(&run.model.predict(&run.store, p), p))
-        .collect()
+    moss_tensor::par_map(preps, |_, p| score(&run.model.predict(&run.store, p), p))
 }
 
 /// Builds ground-truth samples for a set of modules.
 pub fn build_samples(world: &World, modules: &[Module]) -> Vec<CircuitSample> {
-    modules
-        .iter()
-        .enumerate()
-        .map(|(i, m)| {
-            CircuitSample::build(
-                m,
-                &world.lib,
-                &SampleOptions {
-                    sim_cycles: world.config.sim_cycles,
-                    seed: world.config.seed ^ ((i as u64) << 8),
-                    clock_mhz: world.config.clock_mhz,
-                    ..SampleOptions::default()
-                },
-            )
-            .expect("benchmark modules synthesize")
-        })
-        .collect()
+    moss_tensor::par_map(modules, |i, m| {
+        CircuitSample::build(
+            m,
+            &world.lib,
+            &SampleOptions {
+                sim_cycles: world.config.sim_cycles,
+                seed: world.config.seed ^ ((i as u64) << 8),
+                clock_mhz: world.config.clock_mhz,
+                ..SampleOptions::default()
+            },
+        )
+        .expect("benchmark modules synthesize")
+    })
 }
 
 /// A trained MOSS variant with everything needed for evaluation.
@@ -255,11 +246,7 @@ pub struct VariantRun {
 }
 
 /// Trains one MOSS variant on `samples`.
-pub fn train_variant(
-    world: &World,
-    variant: MossVariant,
-    samples: &[CircuitSample],
-) -> VariantRun {
+pub fn train_variant(world: &World, variant: MossVariant, samples: &[CircuitSample]) -> VariantRun {
     let mut store = world.store.clone();
     let model = MossModel::new(
         MossConfig {
@@ -270,14 +257,17 @@ pub fn train_variant(
         &mut store,
         world.config.seed ^ 0x90de1,
     );
-    let preps: Vec<Prepared> = samples
-        .iter()
-        .map(|s| {
-            model
-                .prepare(s, &world.encoder, &store, &world.lib, world.config.clock_mhz)
-                .expect("samples prepare")
-        })
-        .collect();
+    let preps: Vec<Prepared> = moss_tensor::par_map(samples, |_, s| {
+        model
+            .prepare(
+                s,
+                &world.encoder,
+                &store,
+                &world.lib,
+                world.config.clock_mhz,
+            )
+            .expect("samples prepare")
+    });
     let mut trainer = Trainer::new(world.config.train);
     let pretrain = trainer.pretrain(&model, &mut store, &preps);
     let feature_store = store.clone();
@@ -318,14 +308,17 @@ pub fn train_baseline(world: &World, samples: &[CircuitSample]) -> BaselineRun {
         &mut store,
         world.config.seed ^ 0xba5e,
     );
-    let preps: Vec<Prepared> = samples
-        .iter()
-        .map(|s| {
-            model
-                .prepare(s, &world.encoder, &store, &world.lib, world.config.clock_mhz)
-                .expect("samples prepare")
-        })
-        .collect();
+    let preps: Vec<Prepared> = moss_tensor::par_map(samples, |_, s| {
+        model
+            .prepare(
+                s,
+                &world.encoder,
+                &store,
+                &world.lib,
+                world.config.clock_mhz,
+            )
+            .expect("samples prepare")
+    });
     let mut trainer = Trainer::new(world.config.train);
     let pretrain = trainer.train_deepseq2(&model, &mut store, &preps);
     BaselineRun {
@@ -361,18 +354,16 @@ pub fn score(pred: &Predictions, prep: &Prepared) -> CircuitScores {
 
 /// Evaluates a trained MOSS variant on all its prepared circuits.
 pub fn evaluate_variant(run: &VariantRun) -> Vec<CircuitScores> {
-    run.preps
-        .iter()
-        .map(|p| score(&run.model.predict(&run.store, p), p))
-        .collect()
+    moss_tensor::par_map(&run.preps, |_, p| {
+        score(&run.model.predict(&run.store, p), p)
+    })
 }
 
 /// Evaluates a trained baseline on all its prepared circuits.
 pub fn evaluate_baseline(run: &BaselineRun) -> Vec<CircuitScores> {
-    run.preps
-        .iter()
-        .map(|p| score(&run.model.predict(&run.store, p), p))
-        .collect()
+    moss_tensor::par_map(&run.preps, |_, p| {
+        score(&run.model.predict(&run.store, p), p)
+    })
 }
 
 /// Column averages for a score table.
@@ -388,29 +379,24 @@ pub fn averages(scores: &[CircuitScores]) -> (f64, f64, f64) {
 /// FEP retrieval accuracy of a trained variant on a group of prepared
 /// circuits (paper Table II protocol).
 pub fn fep_of(world: &World, run: &VariantRun, preps: &[Prepared]) -> f64 {
-    let rtl: Vec<Vec<f32>> = preps
-        .iter()
-        .map(|p| run.model.rtl_align_vec(&run.store, &world.encoder, p))
-        .collect();
-    let net: Vec<Vec<f32>> = preps
-        .iter()
-        .map(|p| run.model.predict(&run.store, p).netlist_align)
-        .collect();
+    let rtl: Vec<Vec<f32>> = moss_tensor::par_map(preps, |_, p| {
+        run.model.rtl_align_vec(&run.store, &world.encoder, p)
+    });
+    let net: Vec<Vec<f32>> =
+        moss_tensor::par_map(preps, |_, p| run.model.predict(&run.store, p).netlist_align);
     metrics::fep_accuracy(&rtl, &net) * 100.0
 }
 
 /// Prints a quick cell-count census of the benchmark suite.
 pub fn suite_census() -> Vec<(String, usize, usize)> {
-    moss_datagen::benchmark_suite()
-        .iter()
-        .map(|m| {
-            let r = moss_synth::synthesize(m, &moss_synth::SynthOptions::default())
-                .expect("benchmarks synthesize");
-            (
-                m.name().to_owned(),
-                r.netlist.cell_count(),
-                r.netlist.dff_count(),
-            )
-        })
-        .collect()
+    let suite = moss_datagen::benchmark_suite();
+    moss_tensor::par_map(&suite, |_, m| {
+        let r = moss_synth::synthesize(m, &moss_synth::SynthOptions::default())
+            .expect("benchmarks synthesize");
+        (
+            m.name().to_owned(),
+            r.netlist.cell_count(),
+            r.netlist.dff_count(),
+        )
+    })
 }

@@ -168,14 +168,14 @@ impl DeepSeq2 {
             energy_vec: Tensor::from_vec(
                 cell_nodes
                     .iter()
-                    .map(|&i| {
-                        match sample.netlist.kind(moss_netlist::NodeId::new(i)) {
+                    .map(
+                        |&i| match sample.netlist.kind(moss_netlist::NodeId::new(i)) {
                             NodeKind::Cell(k) => {
                                 lib.timing(k).switch_energy_fj as f32 * clock_mhz as f32
                             }
                             _ => 0.0,
-                        }
-                    })
+                        },
+                    )
                     .collect(),
                 cell_nodes.len(),
                 1,

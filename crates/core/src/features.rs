@@ -69,19 +69,22 @@ pub fn build_node_features(
     let d_llm = encoder.config().d_model;
     let max_level = levels.max_level().max(1) as f32;
 
-    // Cache cell-description embeddings per kind (the expensive part).
+    // Cache cell-description embeddings per kind (the expensive part);
+    // `embed_batch` fans the independent forwards out over threads.
     let mut kind_emb: HashMap<CellKind, Vec<f32>> = HashMap::new();
     if options.llm_enhancement {
-        for kind in CellKind::ALL {
-            let e = encoder.embed_text(store, kind.description());
+        let descs: Vec<&str> = CellKind::ALL.iter().map(|k| k.description()).collect();
+        let embs = encoder.embed_batch(store, &descs);
+        for (kind, e) in CellKind::ALL.into_iter().zip(embs) {
             kind_emb.insert(kind, e.data().to_vec());
         }
     }
     // Register-prompt embeddings per register name.
     let mut reg_emb: HashMap<&str, Vec<f32>> = HashMap::new();
     if options.llm_enhancement {
-        for rd in register_descs {
-            let e = encoder.embed_text(store, &rd.prompt);
+        let prompts: Vec<&str> = register_descs.iter().map(|rd| rd.prompt.as_str()).collect();
+        let embs = encoder.embed_batch(store, &prompts);
+        for (rd, e) in register_descs.iter().zip(embs) {
             reg_emb.insert(rd.name.as_str(), e.data().to_vec());
         }
     }

@@ -66,8 +66,6 @@ mod trainer;
 pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use deepseq2::{DeepSeq2, DeepSeq2Config, DeepSeq2Losses};
 pub use features::{build_node_features, FeatureOptions, NodeFeatures, STRUCT_DIM};
-pub use model::{
-    LocalLosses, MossConfig, MossModel, MossVariant, Predictions, Prepared,
-};
+pub use model::{LocalLosses, MossConfig, MossModel, MossVariant, Predictions, Prepared};
 pub use sample::{CircuitSample, Labels, SampleOptions};
 pub use trainer::{AlignEpoch, DynamicWeights, PretrainEpoch, TrainConfig, Trainer};

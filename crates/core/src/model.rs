@@ -269,9 +269,11 @@ impl MossModel {
             // cells in every circuit. Per-circuit clustering would give the
             // dedicated aggregators incoherent training populations (cluster
             // 0 meaning NANDs in one design and XORs in another).
-            let kind_embs: Vec<Vec<f32>> = CellKind::ALL
-                .iter()
-                .map(|k| encoder.embed_text(store, k.description()).data().to_vec())
+            let kind_descs: Vec<&str> = CellKind::ALL.iter().map(|k| k.description()).collect();
+            let kind_embs: Vec<Vec<f32>> = encoder
+                .embed_batch(store, &kind_descs)
+                .into_iter()
+                .map(|e| e.data().to_vec())
                 .collect();
             let kind_struct: Vec<(f32, f32)> = CellKind::ALL
                 .iter()
@@ -361,15 +363,16 @@ impl MossModel {
             .iter()
             .map(|r| r.name.as_str())
             .collect();
-        let name_to_row: HashMap<&str, usize> = reg_names
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (n, i))
-            .collect();
+        let name_to_row: HashMap<&str, usize> =
+            reg_names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let d_llm = self.config.d_llm;
         let mut reg_embs = Tensor::zeros(reg_names.len().max(1), d_llm);
-        for (i, rd) in sample.register_descs.iter().enumerate() {
-            let e = encoder.embed_text(store, &rd.prompt);
+        let prompts: Vec<&str> = sample
+            .register_descs
+            .iter()
+            .map(|rd| rd.prompt.as_str())
+            .collect();
+        for (i, e) in encoder.embed_batch(store, &prompts).into_iter().enumerate() {
             for j in 0..d_llm {
                 reg_embs.set(i, j, e.get(0, j));
             }
@@ -666,7 +669,8 @@ impl MossModel {
         let mut g = Graph::new();
         let out = self.gnn.forward(&mut g, store, &prep.circuit);
         let cells = g.gather_rows(out.states, &prep.cell_nodes);
-        let toggle_pred = self.scalar_head(&mut g, store, cells, self.w_toggle, self.b_toggle, true);
+        let toggle_pred =
+            self.scalar_head(&mut g, store, cells, self.w_toggle, self.b_toggle, true);
         let dffs = g.gather_rows(out.states, &prep.dff_nodes);
         let at_pred = self.scalar_head(&mut g, store, dffs, self.w_at, self.b_at, false);
         let act = self.scalar_head(&mut g, store, cells, self.w_act, self.b_act, true);
@@ -845,8 +849,18 @@ mod tests {
         let l2 = model.local_losses(&mut g, &store, &prep);
         let r1 = model.rtl_align(&mut g, &store, &prep.rtl_emb);
         let r2 = model.rtl_align(&mut g, &store, &prep.rtl_emb);
-        let rnc = model.rnc_loss(&mut g, &store, &[r1, r2], &[l1.netlist_align, l2.netlist_align]);
-        let rnm = model.rnm_loss(&mut g, &store, &[r1, r2], &[l1.netlist_align, l2.netlist_align]);
+        let rnc = model.rnc_loss(
+            &mut g,
+            &store,
+            &[r1, r2],
+            &[l1.netlist_align, l2.netlist_align],
+        );
+        let rnm = model.rnm_loss(
+            &mut g,
+            &store,
+            &[r1, r2],
+            &[l1.netlist_align, l2.netlist_align],
+        );
         assert!(g.value(rnc).get(0, 0).is_finite());
         assert!(g.value(rnm).get(0, 0).is_finite());
         // Gradients reach the temperature parameter through exp(t).

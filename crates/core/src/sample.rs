@@ -123,7 +123,10 @@ impl CircuitSample {
             prev.copy_from_slice(cur);
         }
         let cycles = options.sim_cycles.max(1) as f64;
-        let toggle: Vec<f32> = toggles.iter().map(|&t| (t as f64 / cycles) as f32).collect();
+        let toggle: Vec<f32> = toggles
+            .iter()
+            .map(|&t| (t as f64 / cycles) as f32)
+            .collect();
         let probability: Vec<f32> = ones.iter().map(|&o| (o as f64 / cycles) as f32).collect();
 
         // Timing ground truth.
@@ -145,8 +148,7 @@ impl CircuitSample {
                 leakage += t.leakage_nw;
             }
         }
-        let total_power_nw =
-            dynamic_nw.iter().map(|&d| d as f64).sum::<f64>() + leakage;
+        let total_power_nw = dynamic_nw.iter().map(|&d| d as f64).sum::<f64>() + leakage;
 
         Ok(CircuitSample {
             name: module.name().to_owned(),

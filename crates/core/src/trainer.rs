@@ -2,10 +2,10 @@
 //! phases: pre-training on the local tasks (Fig. 7) and multimodal
 //! alignment (Fig. 8).
 
+use moss_prng::rngs::StdRng;
+use moss_prng::seq::SliceRandom;
+use moss_prng::SeedableRng;
 use moss_tensor::{Adam, Graph, ParamStore, Var};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::deepseq2::DeepSeq2;
 use crate::model::{MossModel, Prepared};
@@ -140,11 +140,8 @@ impl Trainer {
                     g.value(l.power).get(0, 0) as f64,
                 ];
                 let w = weights.update(&raw);
-                let total = weighted_sum(
-                    &mut g,
-                    &[l.probability, l.toggle, l.arrival, l.power],
-                    &w,
-                );
+                let total =
+                    weighted_sum(&mut g, &[l.probability, l.toggle, l.arrival, l.power], &w);
                 sums[0] += g.value(total).get(0, 0) as f64;
                 sums[1] += raw[0];
                 sums[2] += raw[1];
@@ -270,11 +267,8 @@ impl Trainer {
                     g.value(l.power).get(0, 0) as f64,
                 ];
                 let w = weights.update(&raw);
-                let total = weighted_sum(
-                    &mut g,
-                    &[l.probability, l.toggle, l.arrival, l.power],
-                    &w,
-                );
+                let total =
+                    weighted_sum(&mut g, &[l.probability, l.toggle, l.arrival, l.power], &w);
                 sums[0] += g.value(total).get(0, 0) as f64;
                 for (s, &r) in sums[1..].iter_mut().zip(&raw) {
                     *s += r;

@@ -85,8 +85,10 @@ pub fn prbs_generator(lanes: usize, width: u32) -> Module {
                     slice(lfsr, width - 2, 0),
                     xor(
                         bit(lfsr, width - 1),
-                        xor(bit(lfsr, (width * (l as u32 + 1) / (lanes as u32 + 1)) % width),
-                            bit(lfsr, 1)),
+                        xor(
+                            bit(lfsr, (width * (l as u32 + 1) / (lanes as u32 + 1)) % width),
+                            bit(lfsr, 1),
+                        ),
                     ),
                 ]),
             ),
@@ -97,10 +99,7 @@ pub fn prbs_generator(lanes: usize, width: u32) -> Module {
     // Whitening: XOR all lanes together with a rotation.
     let mut acc = lane_exprs[0].clone();
     for (i, e) in lane_exprs.iter().enumerate().skip(1) {
-        acc = xor(
-            acc,
-            bin(BinOp::Shr, e.clone(), konst((i % 3) as u64, 2)),
-        );
+        acc = xor(acc, bin(BinOp::Shr, e.clone(), konst((i % 3) as u64, 2)));
     }
     m.add_assign(out, acc);
     m
@@ -163,7 +162,11 @@ pub fn error_logger(width: u32, counter_bits: u32) -> Module {
         mux(
             var(clear),
             konst(0, counter_bits),
-            mux(var(has_err), add(var(count), konst(1, counter_bits)), var(count)),
+            mux(
+                var(has_err),
+                add(var(count), konst(1, counter_bits)),
+                var(count),
+            ),
         ),
     );
     let last = m.add_signal("last_r", width, SignalKind::Reg);
@@ -181,7 +184,10 @@ pub fn error_logger(width: u32, counter_bits: u32) -> Module {
 
     m.add_assign(count_o, var(count));
     m.add_assign(last_o, var(last));
-    m.add_assign(flags_o, or(var(sticky), bin(BinOp::Shr, var(sum2), konst(1, 2))));
+    m.add_assign(
+        flags_o,
+        or(var(sticky), bin(BinOp::Shr, var(sum2), konst(1, 2))),
+    );
     m
 }
 
@@ -320,11 +326,7 @@ mod tests {
     #[test]
     fn benchmarks_have_sequential_state() {
         for m in benchmark_suite() {
-            assert!(
-                !m.registers().is_empty(),
-                "{} must be sequential",
-                m.name()
-            );
+            assert!(!m.registers().is_empty(), "{} must be sequential", m.name());
         }
     }
 

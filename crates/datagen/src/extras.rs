@@ -35,27 +35,23 @@ pub fn uart_tx(data_bits: u32) -> Module {
     let loaded = concat(vec![konst(1, 1), var(data), konst(0, 1)]);
     m.add_reg_update(
         shreg,
-        mux(
-            var(kick),
-            loaded,
-            bin(BinOp::Shr, var(shreg), konst(1, 2)),
-        ),
+        mux(var(kick), loaded, bin(BinOp::Shr, var(shreg), konst(1, 2))),
     );
     m.add_reg_update(
         count,
         mux(
             var(kick),
             konst(0, cnt_bits),
-            mux(
-                var(busy),
-                add(var(count), konst(1, cnt_bits)),
-                var(count),
-            ),
+            mux(var(busy), add(var(count), konst(1, cnt_bits)), var(count)),
         ),
     );
     m.add_reg_update_with_reset(
         busy,
-        mux(var(kick), konst(1, 1), mux(var(done), konst(0, 1), var(busy))),
+        mux(
+            var(kick),
+            konst(1, 1),
+            mux(var(done), konst(0, 1), var(busy)),
+        ),
         0,
     );
     m.add_assign(tx, mux(var(busy), bit(shreg, 0), konst(1, 1)));
@@ -104,7 +100,10 @@ pub fn fifo_ctrl(addr_bits: u32) -> Module {
         occ,
         bin(
             BinOp::Sub,
-            add(var(occ), mux(var(do_push), konst(1, occ_bits), konst(0, occ_bits))),
+            add(
+                var(occ),
+                mux(var(do_push), konst(1, occ_bits), konst(0, occ_bits)),
+            ),
             mux(var(do_pop), konst(1, occ_bits), konst(0, occ_bits)),
         ),
     );
@@ -143,7 +142,11 @@ pub fn alu(width: u32) -> Module {
             mux(
                 bit(op, 1),
                 mux(bit(op, 0), xor(var(a), var(b)), or(var(a), var(b))),
-                mux(bit(op, 0), and(var(a), var(b)), mux(bit(op, 0), var(sum), mux(bit(op, 1), var(dif), var(sum)))),
+                mux(
+                    bit(op, 0),
+                    and(var(a), var(b)),
+                    mux(bit(op, 0), var(sum), mux(bit(op, 1), var(dif), var(sum))),
+                ),
             ),
         ),
     );
@@ -151,10 +154,7 @@ pub fn alu(width: u32) -> Module {
     let res_r = m.add_signal("res_r", width, SignalKind::Reg);
     m.add_reg_update(res_r, var(res));
     let zero_r = m.add_signal("zero_r", 1, SignalKind::Reg);
-    m.add_reg_update(
-        zero_r,
-        bin(BinOp::Eq, var(res), konst(0, width)),
-    );
+    m.add_reg_update(zero_r, bin(BinOp::Eq, var(res), konst(0, width)));
     m.add_assign(res_o, var(res_r));
     m.add_assign(zero_o, var(zero_r));
     m

@@ -31,8 +31,8 @@ mod extras;
 mod random;
 
 pub use benchmarks::{
-    benchmark_suite, error_logger, max_selector, mult_16x32_to_48, pipeline_reg,
-    prbs_generator, shift_reg, signed_mac, wb_data_mux,
+    benchmark_suite, error_logger, max_selector, mult_16x32_to_48, pipeline_reg, prbs_generator,
+    shift_reg, signed_mac, wb_data_mux,
 };
 pub use corpus::finetune_pairs;
 pub use extras::{alu, fifo_ctrl, uart_tx};

@@ -3,9 +3,9 @@
 //! construction (wires reference only earlier signals; registers may
 //! reference anything, giving sequential feedback).
 
+use moss_prng::rngs::StdRng;
+use moss_prng::{Rng, SeedableRng};
 use moss_rtl::{BinOp, Expr, Module, SignalId, SignalKind, UnaryOp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Size class of a generated design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,23 +104,25 @@ fn random_expr(
         2 => Expr::Binary(BinOp::Xor, Box::new(sub(rng)), Box::new(sub(rng))),
         3 => Expr::Binary(BinOp::And, Box::new(sub(rng)), Box::new(sub(rng))),
         4 => Expr::Binary(BinOp::Or, Box::new(sub(rng)), Box::new(sub(rng))),
-        5 if allow_mul => {
-            Expr::Binary(BinOp::Mul, Box::new(sub(rng)), Box::new(sub(rng)))
-        }
+        5 if allow_mul => Expr::Binary(BinOp::Mul, Box::new(sub(rng)), Box::new(sub(rng))),
         5 => Expr::Binary(BinOp::Add, Box::new(sub(rng)), Box::new(sub(rng))),
         6 => Expr::Unary(UnaryOp::Not, Box::new(sub(rng))),
-        7 => Expr::Mux(
-            Box::new(sub(rng)),
-            Box::new(sub(rng)),
-            Box::new(sub(rng)),
-        ),
+        7 => Expr::Mux(Box::new(sub(rng)), Box::new(sub(rng)), Box::new(sub(rng))),
         8 => {
-            let cmp = if rng.gen_bool(0.5) { BinOp::Lt } else { BinOp::Eq };
+            let cmp = if rng.gen_bool(0.5) {
+                BinOp::Lt
+            } else {
+                BinOp::Eq
+            };
             Expr::Binary(cmp, Box::new(sub(rng)), Box::new(sub(rng)))
         }
         _ => {
             let amount = rng.gen_range(1..4);
-            let op = if rng.gen_bool(0.5) { BinOp::Shl } else { BinOp::Shr };
+            let op = if rng.gen_bool(0.5) {
+                BinOp::Shl
+            } else {
+                BinOp::Shr
+            };
             Expr::Binary(op, Box::new(sub(rng)), Box::new(Expr::constant(amount, 3)))
         }
     }
@@ -163,8 +165,7 @@ mod tests {
     fn random_modules_are_always_valid() {
         for seed in 0..30 {
             let m = random_module(seed, SizeClass::Small);
-            moss_rtl::Interpreter::new(&m)
-                .unwrap_or_else(|e| panic!("seed {seed} invalid: {e}"));
+            moss_rtl::Interpreter::new(&m).unwrap_or_else(|e| panic!("seed {seed} invalid: {e}"));
         }
     }
 
@@ -191,8 +192,7 @@ mod tests {
     fn corpus_has_requested_count_and_distinct_names() {
         let corpus = random_corpus(9, 12);
         assert_eq!(corpus.len(), 12);
-        let names: std::collections::HashSet<&str> =
-            corpus.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<&str> = corpus.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 12);
     }
 

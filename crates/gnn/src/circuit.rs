@@ -69,20 +69,10 @@ impl CircuitGraph {
         let mut keyed: Vec<(u32, usize, usize, NodeId)> = Vec::new();
         for &id in levels.topo_combinational() {
             let arity = netlist.fanins(id).len().min(3);
-            keyed.push((
-                levels.level(id),
-                clusters.assignment[id.index()],
-                arity,
-                id,
-            ));
+            keyed.push((levels.level(id), clusters.assignment[id.index()], arity, id));
         }
         for id in netlist.primary_outputs() {
-            keyed.push((
-                levels.level(id) + 1,
-                clusters.assignment[id.index()],
-                1,
-                id,
-            ));
+            keyed.push((levels.level(id) + 1, clusters.assignment[id.index()], 1, id));
         }
         keyed.sort();
         let mut comb_schedule: Vec<Group> = Vec::new();
@@ -168,8 +158,7 @@ mod tests {
     fn schedule_covers_all_comb_cells_and_outputs() {
         let nl = pipeline_netlist();
         let n = nl.node_count();
-        let cg =
-            CircuitGraph::new(&nl, Tensor::zeros(n, 4), trivial_clustering(n)).unwrap();
+        let cg = CircuitGraph::new(&nl, Tensor::zeros(n, 4), trivial_clustering(n)).unwrap();
         let scheduled: usize = cg.comb_schedule.iter().map(|g| g.nodes.len()).sum();
         // 3 comb cells + 1 primary output.
         assert_eq!(scheduled, 4);
@@ -182,8 +171,7 @@ mod tests {
     fn groups_respect_level_order() {
         let nl = pipeline_netlist();
         let n = nl.node_count();
-        let cg =
-            CircuitGraph::new(&nl, Tensor::zeros(n, 4), trivial_clustering(n)).unwrap();
+        let cg = CircuitGraph::new(&nl, Tensor::zeros(n, 4), trivial_clustering(n)).unwrap();
         // u1 (level 1) must be scheduled before u2 (level 2).
         let pos = |name: &str| {
             let id = nl.find(name).unwrap().index();
@@ -199,8 +187,7 @@ mod tests {
     fn fanins_align_with_nodes() {
         let nl = pipeline_netlist();
         let n = nl.node_count();
-        let cg =
-            CircuitGraph::new(&nl, Tensor::zeros(n, 4), trivial_clustering(n)).unwrap();
+        let cg = CircuitGraph::new(&nl, Tensor::zeros(n, 4), trivial_clustering(n)).unwrap();
         for g in &cg.comb_schedule {
             for p in 0..g.arity {
                 assert_eq!(g.fanins[p].len(), g.nodes.len(), "pin {p} aligned");

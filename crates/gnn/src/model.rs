@@ -147,9 +147,9 @@ impl CircuitGnn {
     /// Every parameter id belonging to this model.
     pub fn param_ids(&self) -> Vec<ParamId> {
         let mut out = vec![
-            self.w_in, self.b_in, self.wz, self.uz, self.vz, self.bz, self.wh,
-            self.uh, self.vh, self.bh, self.wdz, self.udz, self.bdz, self.wdh,
-            self.udh, self.bdh, self.w_ro, self.b_ro,
+            self.w_in, self.b_in, self.wz, self.uz, self.vz, self.bz, self.wh, self.uh, self.vh,
+            self.bh, self.wdz, self.udz, self.bdz, self.wdh, self.udh, self.bdh, self.w_ro,
+            self.b_ro,
         ];
         for a in &self.aggs {
             out.extend([a.wq, a.wk, a.wv, a.pin_bias]);
@@ -269,15 +269,29 @@ impl CircuitGnn {
             let pin_states: Vec<Var> = (0..group.arity)
                 .map(|p| table.gather(g, &group.fanins[p]))
                 .collect();
-            let values: Vec<Var> = pin_states.iter().map(|&h_u| g.matmul(h_u, wv)).collect();
+            // Fuse the per-pin projections into one stacked matmul: matmul
+            // is row-independent, so projecting the row-concatenation and
+            // gathering it back per pin is exactly the per-pin result while
+            // handing the backend one large matrix to thread over.
+            let rows = group.nodes.len();
+            let stacked_pins = g.concat_rows(&pin_states);
+            let stacked_values = g.matmul(stacked_pins, wv);
+            let pin_rows: Vec<Vec<usize>> = (0..group.arity)
+                .map(|p| (p * rows..(p + 1) * rows).collect())
+                .collect();
+            let values: Vec<Var> = pin_rows
+                .iter()
+                .map(|idx| g.gather_rows(stacked_values, idx))
+                .collect();
             if self.config.attention && group.arity > 1 {
                 // Additive-free dot-product attention with edge positional
                 // encoding: score_p = (q·k_p)/√d + bias_p.
                 let q = g.matmul(h_v, wq);
                 let ones = g.input(Tensor::full(d, 1, 1.0));
+                let stacked_keys = g.matmul(stacked_pins, wk);
                 let mut scores: Vec<Var> = Vec::with_capacity(group.arity);
-                for &h_u in &pin_states {
-                    let k = g.matmul(h_u, wk);
+                for idx in &pin_rows {
+                    let k = g.gather_rows(stacked_keys, idx);
                     let qk = g.mul(q, k);
                     let s = g.matmul(qk, ones);
                     scores.push(g.scale(s, 1.0 / (d as f32).sqrt()));
@@ -465,7 +479,10 @@ mod tests {
         let mut g3 = Graph::new();
         let moved = gnn.forward(&mut g3, &store, &circuit);
         let moved_emb = g3.value(moved.graph_embedding).clone();
-        assert!(moved_emb.distance(&mean_emb) > 1e-7, "keys engage attention");
+        assert!(
+            moved_emb.distance(&mean_emb) > 1e-7,
+            "keys engage attention"
+        );
     }
 
     #[test]

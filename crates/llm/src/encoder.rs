@@ -111,10 +111,8 @@ impl TextEncoder {
             "heads must divide d_model"
         );
         let vocab = config.vocab_buckets + crate::tokenizer::special::COUNT;
-        let embedding = store.get_or_add(
-            "llm.embedding",
-            Tensor::xavier(vocab, config.d_model, seed),
-        );
+        let embedding =
+            store.get_or_add("llm.embedding", Tensor::xavier(vocab, config.d_model, seed));
         let mlm_head = store.get_or_add(
             "llm.mlm_head",
             Tensor::xavier(config.d_model, vocab, seed ^ 1),
@@ -193,7 +191,11 @@ impl TextEncoder {
         let mut out = vec![self.embedding, self.mlm_head];
         for l in &self.layers {
             out.extend([l.wq, l.wk, l.wv, l.wo, l.w1, l.b1, l.w2, l.b2]);
-            out.extend([l.lora_qa, l.lora_qb, l.lora_va, l.lora_vb].into_iter().flatten());
+            out.extend(
+                [l.lora_qa, l.lora_qb, l.lora_va, l.lora_vb]
+                    .into_iter()
+                    .flatten(),
+            );
         }
         out
     }
@@ -305,12 +307,7 @@ impl TextEncoder {
     }
 
     /// Per-token vocabulary logits for masked-token prediction.
-    pub fn mlm_logits(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        hidden: Var,
-    ) -> Var {
+    pub fn mlm_logits(&self, g: &mut Graph, store: &ParamStore, hidden: Var) -> Var {
         let head = g.param(self.mlm_head, store);
         g.matmul(hidden, head)
     }
@@ -351,18 +348,35 @@ impl TextEncoder {
         if body.len() <= window {
             return self.embed_text(store, text);
         }
-        let mut acc = Tensor::zeros(1, self.config.d_model);
-        let mut count = 0f32;
-        for chunk in body.chunks(window) {
+        // Each window forwards independently; `par_map` keeps chunk order,
+        // and the fold below stays sequential, so the result is identical
+        // to the single-threaded loop at any thread count.
+        let chunks: Vec<&[usize]> = body.chunks(window).collect();
+        let pooled = moss_tensor::par_map(&chunks, |_, chunk| {
             let mut tokens = Vec::with_capacity(chunk.len() + 1);
             tokens.push(crate::tokenizer::special::CLS);
             tokens.extend_from_slice(chunk);
             let mut g = Graph::new();
-            let pooled = self.pooled(&mut g, store, &tokens, TrainMode::LoraOnly);
-            acc = acc.zip_map(g.value(pooled), |a, b| a + b);
-            count += 1.0;
+            let p = self.pooled(&mut g, store, &tokens, TrainMode::LoraOnly);
+            g.value(p).clone()
+        });
+        let count = pooled.len() as f32;
+        let mut acc = Tensor::zeros(1, self.config.d_model);
+        for p in &pooled {
+            acc = acc.zip_map(p, |a, b| a + b);
         }
         acc.map(|x| x / count)
+    }
+
+    /// Embeds a batch of texts, fanning the independent forwards out over
+    /// the configured thread pool. Results are in input order and
+    /// bit-identical to sequential [`TextEncoder::embed_text`] calls.
+    pub fn embed_batch<S: AsRef<str> + Sync>(
+        &self,
+        store: &ParamStore,
+        texts: &[S],
+    ) -> Vec<Tensor> {
+        moss_tensor::par_map(texts, |_, t| self.embed_text(store, t.as_ref()))
     }
 }
 
@@ -395,6 +409,23 @@ mod tests {
         let e2 = enc.embed_text(&store, "register q holds state");
         assert_eq!(e1.shape(), (1, 16));
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn embed_batch_matches_sequential_embed_text() {
+        let (enc, store) = tiny_encoder();
+        let texts = [
+            "register q holds state",
+            "two input nand gate",
+            "rising edge d type flip flop",
+            "assign y = a & b;",
+            "wire t; assign t = a;",
+        ];
+        let batch = enc.embed_batch(&store, &texts);
+        assert_eq!(batch.len(), texts.len());
+        for (t, b) in texts.iter().zip(&batch) {
+            assert_eq!(&enc.embed_text(&store, t), b, "order and bits preserved");
+        }
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //!    close together, which is the property the GNN feature-enhancement
 //!    path relies on.
 
+use moss_prng::rngs::StdRng;
+use moss_prng::seq::SliceRandom;
+use moss_prng::{Rng, SeedableRng};
 use moss_tensor::{Adam, Graph, ParamStore, Var};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 use crate::encoder::{TextEncoder, TrainMode};
 use crate::tokenizer::special;
@@ -204,14 +204,22 @@ mod tests {
 
     fn corpus() -> Vec<(String, String)> {
         let items = [
-            ("register q is a 4 bit counter updated with q + 1",
-             "d type flip flop q_reg_0 in module counter driven by adder logic"),
-            ("register s is a shift register capturing serial input d",
-             "d type flip flop s_reg_0 in module shifter driven by previous stage"),
-            ("signal y computes the and of inputs a and b",
-             "two input nand gate feeding an inverter"),
-            ("register acc accumulates the product of a and b",
-             "d type flip flop acc_reg_0 in module mac driven by multiplier array"),
+            (
+                "register q is a 4 bit counter updated with q + 1",
+                "d type flip flop q_reg_0 in module counter driven by adder logic",
+            ),
+            (
+                "register s is a shift register capturing serial input d",
+                "d type flip flop s_reg_0 in module shifter driven by previous stage",
+            ),
+            (
+                "signal y computes the and of inputs a and b",
+                "two input nand gate feeding an inverter",
+            ),
+            (
+                "register acc accumulates the product of a and b",
+                "d type flip flop acc_reg_0 in module mac driven by multiplier array",
+            ),
         ];
         items
             .iter()

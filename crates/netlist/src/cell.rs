@@ -292,7 +292,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for kind in CellKind::ALL {
             assert!(!kind.description().is_empty());
-            assert!(seen.insert(kind.description()), "duplicate description for {kind}");
+            assert!(
+                seen.insert(kind.description()),
+                "duplicate description for {kind}"
+            );
         }
     }
 }

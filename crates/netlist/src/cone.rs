@@ -22,8 +22,8 @@ pub fn fanin_cone(netlist: &Netlist, root: NodeId) -> HashSet<NodeId> {
         // Stop *expanding* at sequential/primary boundaries, but keep them in
         // the cone. The root itself is always expanded one step so that the
         // cone of a DFF covers its D-side logic.
-        let expand = id == root
-            || matches!(netlist.kind(id), NodeKind::Cell(k) if !k.is_sequential());
+        let expand =
+            id == root || matches!(netlist.kind(id), NodeKind::Cell(k) if !k.is_sequential());
         if !expand {
             continue;
         }
@@ -43,8 +43,7 @@ pub fn fanin_cone(netlist: &Netlist, root: NodeId) -> HashSet<NodeId> {
 pub fn register_adjacency(netlist: &Netlist) -> Vec<(NodeId, Vec<NodeId>)> {
     let mut result = Vec::new();
     for id in netlist.node_ids() {
-        let is_sink = netlist.kind(id).is_dff()
-            || netlist.kind(id) == NodeKind::PrimaryOutput;
+        let is_sink = netlist.kind(id).is_dff() || netlist.kind(id) == NodeKind::PrimaryOutput;
         if !is_sink {
             continue;
         }
@@ -52,9 +51,7 @@ pub fn register_adjacency(netlist: &Netlist) -> Vec<(NodeId, Vec<NodeId>)> {
         let mut sources: Vec<NodeId> = cone
             .into_iter()
             .filter(|&c| {
-                c != id
-                    && (netlist.kind(c).is_dff()
-                        || netlist.kind(c) == NodeKind::PrimaryInput)
+                c != id && (netlist.kind(c).is_dff() || netlist.kind(c) == NodeKind::PrimaryInput)
             })
             .collect();
         sources.sort();

@@ -54,18 +54,26 @@ pub enum NetlistError {
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetlistError::PinCountMismatch { cell, expected, got } => {
+            NetlistError::PinCountMismatch {
+                cell,
+                expected,
+                got,
+            } => {
                 write!(f, "cell {cell} requires {expected} fanins, got {got}")
             }
             NetlistError::UnknownNode(i) => write!(f, "fanin references unknown node {i}"),
-            NetlistError::DanglingPins { node, name, expected, got } => write!(
+            NetlistError::DanglingPins {
+                node,
+                name,
+                expected,
+                got,
+            } => write!(
                 f,
                 "node {node} ({name}) has {got} connected pins, requires {expected}"
             ),
-            NetlistError::InconsistentAdjacency { from, to } => write!(
-                f,
-                "adjacency lists disagree on edge {from} -> {to}"
-            ),
+            NetlistError::InconsistentAdjacency { from, to } => {
+                write!(f, "adjacency lists disagree on edge {from} -> {to}")
+            }
             NetlistError::CombinationalCycle { node } => write!(
                 f,
                 "combinational cycle through node {node} (missing a flip-flop on a feedback path)"

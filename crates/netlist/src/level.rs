@@ -116,9 +116,7 @@ impl Levelization {
         if comb_done != total_comb {
             let node = netlist
                 .node_ids()
-                .find(|&id| {
-                    netlist.kind(id).is_combinational_cell() && remaining[id.index()] > 0
-                })
+                .find(|&id| netlist.kind(id).is_combinational_cell() && remaining[id.index()] > 0)
                 .map(|id| id.index())
                 .unwrap_or(0);
             return Err(NetlistError::CombinationalCycle { node });

@@ -83,7 +83,10 @@ impl fmt::Display for NetlistStats {
 /// ```
 pub fn to_dot(netlist: &Netlist) -> String {
     let mut out = String::new();
-    out.push_str(&format!("digraph \"{}\" {{\n  rankdir=LR;\n", netlist.name()));
+    out.push_str(&format!(
+        "digraph \"{}\" {{\n  rankdir=LR;\n",
+        netlist.name()
+    ));
     for id in netlist.node_ids() {
         let node = netlist.node(id);
         let (shape, label) = match node.kind() {

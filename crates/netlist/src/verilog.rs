@@ -112,10 +112,8 @@ pub fn write_verilog(netlist: &Netlist) -> String {
 /// Returns [`NetlistError::UnknownNode`]-style errors wrapped in
 /// [`NetlistError`], or a parse failure description.
 pub fn parse_verilog(src: &str) -> Result<Netlist, NetlistError> {
-    let lib_by_name: HashMap<&str, CellKind> = CellKind::ALL
-        .iter()
-        .map(|&k| (k.lib_name(), k))
-        .collect();
+    let lib_by_name: HashMap<&str, CellKind> =
+        CellKind::ALL.iter().map(|&k| (k.lib_name(), k)).collect();
 
     let text = src.replace('\n', " ");
     let Some(header_start) = text.find("module") else {
@@ -203,20 +201,14 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, NetlistError> {
         if let Some((_, net)) = pins.iter().find(|(p, _)| p == out_pin) {
             nets.insert(net.clone(), node);
         }
-        pending.push(Pending {
-            node,
-            kind,
-            pins,
-        });
+        pending.push(Pending { node, kind, pins });
     }
 
     // Second pass: connect pins.
     for p in &pending {
         for (i, pin_name) in pin_names(p.kind).iter().enumerate() {
             let Some((_, net)) = p.pins.iter().find(|(pn, _)| pn == pin_name) else {
-                return Err(parse_err(format!(
-                    "instance missing pin {pin_name}"
-                )));
+                return Err(parse_err(format!("instance missing pin {pin_name}")));
             };
             let Some(&src) = nets.get(net) else {
                 return Err(parse_err(format!("undriven net '{net}'")));
@@ -319,8 +311,14 @@ mod tests {
         assert_eq!(parsed.name(), original.name());
         assert_eq!(parsed.cell_count(), original.cell_count());
         assert_eq!(parsed.dff_count(), original.dff_count());
-        assert_eq!(parsed.primary_inputs().len(), original.primary_inputs().len() + 1);
-        assert_eq!(parsed.primary_outputs().len(), original.primary_outputs().len());
+        assert_eq!(
+            parsed.primary_inputs().len(),
+            original.primary_inputs().len() + 1
+        );
+        assert_eq!(
+            parsed.primary_outputs().len(),
+            original.primary_outputs().len()
+        );
         assert!(parsed.validate().is_ok());
         // Logic depth preserved.
         let lo = crate::level::Levelization::of(&original).unwrap();
@@ -344,7 +342,9 @@ mod tests {
     #[test]
     fn rejects_unknown_cells_and_bad_nets() {
         assert!(parse_verilog("module m (input a); FOO_X1 u (.A(a), .Y(n)); endmodule").is_err());
-        assert!(parse_verilog("module m (input a, output y); assign y = ghost; endmodule").is_err());
+        assert!(
+            parse_verilog("module m (input a, output y); assign y = ghost; endmodule").is_err()
+        );
         assert!(parse_verilog("no module here").is_err());
     }
 }

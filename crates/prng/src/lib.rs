@@ -1,0 +1,278 @@
+//! # moss-prng
+//!
+//! Deterministic, dependency-free pseudo-random number generation for the
+//! MOSS workspace. The API mirrors the subset of the `rand` crate the
+//! workspace uses (`StdRng::seed_from_u64`, `gen_range`, `gen_bool`,
+//! `shuffle`) so call sites read identically, but the implementation is
+//! fully in-repo: seeded experiments must reproduce bit-for-bit on any
+//! machine, with no external crate in the supply chain.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the standard
+//! construction recommended by its authors. Streams are stable across
+//! platforms and releases; checked-in experiment results depend on them.
+//!
+//! ## Example
+//!
+//! ```
+//! use moss_prng::rngs::StdRng;
+//! use moss_prng::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let a = rng.gen_range(0..10);
+//! assert!((0..10).contains(&a));
+//! let b = rng.gen_range(-1.0f32..=1.0);
+//! assert!((-1.0..=1.0).contains(&b));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Constructs a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// A generator deterministically derived from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a range type (the `gen_range` argument).
+///
+/// Generic over the output type — like `rand`'s trait of the same name —
+/// so a `let w: u32 = rng.gen_range(1..=8)` annotation types the literals.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Core random-value interface.
+pub trait Rng {
+    /// The next 64 raw pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value from `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits, exactly representable in f64.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Small, fast, and high quality; the exact output stream is part of
+    /// the workspace's reproducibility contract.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors; an all-zero state (the
+            // one invalid state) cannot be produced this way.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every u64 is valid.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Slice utilities (the `rand::seq` subset the workspace uses).
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = rng.gen_range(1..=8);
+            assert!((1..=8).contains(&w));
+            let u = rng.gen_range(0..1usize);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.5f32..=2.5);
+            assert!((-2.5..=2.5).contains(&v));
+            let w = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 values drawn");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+        assert!(!StdRng::seed_from_u64(1).gen_bool(0.0));
+        assert!(StdRng::seed_from_u64(1).gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..20).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "order changed");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "same elements");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.gen_range(5..5);
+    }
+}

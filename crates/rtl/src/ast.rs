@@ -350,10 +350,7 @@ impl Module {
 
     /// Total state bits (sum of register widths).
     pub fn state_bits(&self) -> u32 {
-        self.registers()
-            .iter()
-            .map(|&r| self.signal(r).width)
-            .sum()
+        self.registers().iter().map(|&r| self.signal(r).width).sum()
     }
 }
 
@@ -383,7 +380,11 @@ mod tests {
         let out = m.add_signal("count", 8, SignalKind::Output);
         m.add_reg_update(
             q,
-            Expr::Binary(BinOp::Add, Box::new(Expr::Var(q)), Box::new(Expr::constant(1, 8))),
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Var(q)),
+                Box::new(Expr::constant(1, 8)),
+            ),
         );
         m.add_assign(out, Expr::Var(q));
         m
@@ -396,11 +397,7 @@ mod tests {
         assert_eq!(Expr::Var(q).width(&m), 8);
         assert_eq!(Expr::Index(q, 3).width(&m), 1);
         assert_eq!(Expr::Slice(q, 7, 4).width(&m), 4);
-        let mul = Expr::Binary(
-            BinOp::Mul,
-            Box::new(Expr::Var(q)),
-            Box::new(Expr::Var(q)),
-        );
+        let mul = Expr::Binary(BinOp::Mul, Box::new(Expr::Var(q)), Box::new(Expr::Var(q)));
         assert_eq!(mul.width(&m), 16);
         let cmp = Expr::Binary(BinOp::Lt, Box::new(Expr::Var(q)), Box::new(Expr::Var(q)));
         assert_eq!(cmp.width(&m), 1);
@@ -426,7 +423,13 @@ mod tests {
     #[test]
     fn constant_masks() {
         let c = Expr::constant(0x1ff, 8);
-        assert_eq!(c, Expr::Const { value: 0xff, width: 8 });
+        assert_eq!(
+            c,
+            Expr::Const {
+                value: 0xff,
+                width: 8
+            }
+        );
     }
 
     #[test]

@@ -134,8 +134,16 @@ pub fn module_summary(module: &Module) -> String {
     let mut out = format!(
         "module {} has inputs {} and outputs {} with {} state bits across {} registers.",
         module.name(),
-        if inputs.is_empty() { "none".to_owned() } else { inputs.join(", ") },
-        if outputs.is_empty() { "none".to_owned() } else { outputs.join(", ") },
+        if inputs.is_empty() {
+            "none".to_owned()
+        } else {
+            inputs.join(", ")
+        },
+        if outputs.is_empty() {
+            "none".to_owned()
+        } else {
+            outputs.join(", ")
+        },
         module.state_bits(),
         module.registers().len(),
     );

@@ -74,7 +74,10 @@ impl fmt::Display for RtlError {
             }
             RtlError::UnknownSignal { name } => write!(f, "unknown signal '{name}'"),
             RtlError::BadDriver { name, drivers } => {
-                write!(f, "signal '{name}' has {drivers} drivers, expected exactly 1")
+                write!(
+                    f,
+                    "signal '{name}' has {drivers} drivers, expected exactly 1"
+                )
             }
             RtlError::CombinationalCycle { name } => {
                 write!(f, "combinational cycle through signal '{name}'")

@@ -103,9 +103,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, RtlError> {
                     'd' | 'D' => 10,
                     'b' | 'B' => 2,
                     'h' | 'H' => 16,
-                    other => {
-                        return Err(RtlError::lex(line, format!("unknown base '{other}'")))
-                    }
+                    other => return Err(RtlError::lex(line, format!("unknown base '{other}'"))),
                 };
                 let dstart = i;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {

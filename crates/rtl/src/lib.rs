@@ -41,7 +41,9 @@ mod optimize;
 mod parser;
 mod printer;
 
-pub use ast::{mask, Assign, BinOp, Expr, Module, RegUpdate, Signal, SignalId, SignalKind, UnaryOp};
+pub use ast::{
+    mask, Assign, BinOp, Expr, Module, RegUpdate, Signal, SignalId, SignalKind, UnaryOp,
+};
 pub use describe::{describe_registers, module_summary, RegisterDescription};
 pub use error::RtlError;
 pub use interp::Interpreter;

@@ -51,7 +51,13 @@ pub fn optimize(module: &Module) -> (Module, OptimizeStats) {
     let rewritten_regs: Vec<(SignalId, Expr, u64)> = module
         .reg_updates()
         .iter()
-        .map(|u| (u.target, rewrite(module, &u.expr, &mut stats), u.reset_value))
+        .map(|u| {
+            (
+                u.target,
+                rewrite(module, &u.expr, &mut stats),
+                u.reset_value,
+            )
+        })
         .collect();
 
     // Pass 2: liveness from outputs (and all register updates transitively).
@@ -136,8 +142,16 @@ fn rewrite(module: &Module, expr: &Expr, stats: &mut OptimizeStats) -> Expr {
         Expr::Binary(op, l, r) => {
             let l = rewrite(module, l, stats);
             let r = rewrite(module, r, stats);
-            if let (Expr::Const { value: a, width: wl }, Expr::Const { value: b, width: wr }) =
-                (&l, &r)
+            if let (
+                Expr::Const {
+                    value: a,
+                    width: wl,
+                },
+                Expr::Const {
+                    value: b,
+                    width: wr,
+                },
+            ) = (&l, &r)
             {
                 stats.folded += 1;
                 return fold_binary(*op, *a, *wl, *b, *wr);
@@ -166,14 +180,8 @@ fn rewrite(module: &Module, expr: &Expr, stats: &mut OptimizeStats) -> Expr {
             Expr::Mux(Box::new(c), Box::new(t), Box::new(e))
         }
         Expr::Concat(parts) => {
-            let parts: Vec<Expr> = parts
-                .iter()
-                .map(|p| rewrite(module, p, stats))
-                .collect();
-            if parts
-                .iter()
-                .all(|p| matches!(p, Expr::Const { .. }))
-            {
+            let parts: Vec<Expr> = parts.iter().map(|p| rewrite(module, p, stats)).collect();
+            if parts.iter().all(|p| matches!(p, Expr::Const { .. })) {
                 stats.folded += 1;
                 let mut acc = 0u64;
                 let mut total = 0u32;
@@ -230,9 +238,7 @@ fn fold_binary(op: BinOp, a: u64, wl: u32, b: u64, wr: u32) -> Expr {
 /// Width-preserving algebraic identities.
 fn identity(module: &Module, op: BinOp, l: &Expr, r: &Expr, width: u32) -> Option<Expr> {
     let is_zero = |e: &Expr| matches!(e, Expr::Const { value: 0, .. });
-    let is_ones = |e: &Expr| {
-        matches!(e, Expr::Const { value, width } if *value == mask(u64::MAX, *width) && *width >= 1)
-    };
+    let is_ones = |e: &Expr| matches!(e, Expr::Const { value, width } if *value == mask(u64::MAX, *width) && *width >= 1);
     match op {
         BinOp::And => {
             if is_zero(l) || is_zero(r) {
@@ -427,7 +433,10 @@ mod tests {
         let (opt, stats) = optimize(&m);
         assert!(stats.folded >= 1);
         // The whole expression collapses to a constant.
-        assert!(matches!(opt.assigns()[0].expr, Expr::Const { .. } | Expr::Concat(_)));
+        assert!(matches!(
+            opt.assigns()[0].expr,
+            Expr::Const { .. } | Expr::Concat(_)
+        ));
         equivalent(&m, &opt, 4, 1);
     }
 

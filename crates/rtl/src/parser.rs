@@ -211,9 +211,9 @@ impl Parser {
             }
             if self.try_keyword("assign") {
                 let tname = self.eat_ident()?;
-                let target = module
-                    .find(&tname)
-                    .ok_or_else(|| RtlError::UnknownSignal { name: tname.clone() })?;
+                let target = module.find(&tname).ok_or_else(|| RtlError::UnknownSignal {
+                    name: tname.clone(),
+                })?;
                 self.eat_punct("=")?;
                 let expr = self.parse_expr(&module)?;
                 self.eat_punct(";")?;
@@ -229,9 +229,9 @@ impl Parser {
                 let multi = self.try_keyword("begin");
                 loop {
                     let tname = self.eat_ident()?;
-                    let target = module
-                        .find(&tname)
-                        .ok_or_else(|| RtlError::UnknownSignal { name: tname.clone() })?;
+                    let target = module.find(&tname).ok_or_else(|| RtlError::UnknownSignal {
+                        name: tname.clone(),
+                    })?;
                     self.eat_punct("<=")?;
                     let expr = self.parse_expr(&module)?;
                     self.eat_punct(";")?;
@@ -315,7 +315,12 @@ impl Parser {
             &[("|", BinOp::Or)],
             &[("^", BinOp::Xor)],
             &[("&", BinOp::And)],
-            &[("==", BinOp::Eq), ("!=", BinOp::Ne), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[
+                ("==", BinOp::Eq),
+                ("!=", BinOp::Ne),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
             &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
             &[("+", BinOp::Add), ("-", BinOp::Sub), ("*", BinOp::Mul)],
         ];
@@ -359,10 +364,8 @@ impl Parser {
             if matches!(self.peek(), TokenKind::Punct(p) if *p == sym) {
                 // Only treat as reduction if the *next* token starts a primary.
                 let next = &self.tokens[self.pos + 1].kind;
-                let starts_primary = matches!(
-                    next,
-                    TokenKind::Ident(_) | TokenKind::Number(..)
-                ) || matches!(next, TokenKind::Punct(q) if *q == "(");
+                let starts_primary = matches!(next, TokenKind::Ident(_) | TokenKind::Number(..))
+                    || matches!(next, TokenKind::Punct(q) if *q == "(");
                 if starts_primary {
                     self.bump();
                     let e = self.parse_unary(module)?;
@@ -543,8 +546,8 @@ mod tests {
 
     #[test]
     fn out_of_range_select_rejected() {
-        let err = parse("module b(input [3:0] a, output y); assign y = a[9]; endmodule")
-            .unwrap_err();
+        let err =
+            parse("module b(input [3:0] a, output y); assign y = a[9]; endmodule").unwrap_err();
         assert!(matches!(err, RtlError::RangeOutOfBounds { .. }));
     }
 

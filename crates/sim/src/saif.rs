@@ -59,9 +59,7 @@ pub fn write_saif<W: Write>(
     writeln!(writer, "    (NET")?;
     for id in netlist.node_ids() {
         let name = match netlist.kind(id) {
-            NodeKind::PrimaryInput | NodeKind::PrimaryOutput => {
-                sanitize(netlist.node(id).name())
-            }
+            NodeKind::PrimaryInput | NodeKind::PrimaryOutput => sanitize(netlist.node(id).name()),
             NodeKind::Cell(_) => format!("n_{}", sanitize(netlist.node(id).name())),
         };
         let t1 = report.ones[id.index()];
@@ -117,7 +115,10 @@ mod tests {
             .find(|l| l.trim_start().starts_with("(n_q "))
             .expect("q net present");
         assert!(q_line.contains("(TC 100)"), "{q_line}");
-        assert!(q_line.contains("(T0 50)") && q_line.contains("(T1 50)"), "{q_line}");
+        assert!(
+            q_line.contains("(T0 50)") && q_line.contains("(T1 50)"),
+            "{q_line}"
+        );
     }
 
     #[test]

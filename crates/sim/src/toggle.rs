@@ -6,8 +6,8 @@
 //! changes.
 
 use moss_netlist::{Netlist, NetlistError, NodeId, NodeKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moss_prng::rngs::StdRng;
+use moss_prng::{Rng, SeedableRng};
 
 use crate::sim::GateSim;
 
@@ -173,7 +173,11 @@ mod tests {
         let g = nl.add_cell(CellKind::Xor2, "u", &[a, b]).unwrap();
         nl.add_output("y", g);
         let report = toggle_rates(&nl, &[], 4000, 3).unwrap();
-        assert!((report.rate(g) - 0.5).abs() < 0.05, "rate {}", report.rate(g));
+        assert!(
+            (report.rate(g) - 0.5).abs() < 0.05,
+            "rate {}",
+            report.rate(g)
+        );
     }
 
     #[test]

@@ -180,7 +180,10 @@ mod tests {
             assert!(text.contains(&format!("#{t}\n")), "timestep {t} present");
         }
         // The constant-0 input is only dumped once (initial value).
-        let en_changes = text.lines().filter(|l| l.ends_with('!') && (l.starts_with('0') || l.starts_with('1'))).count();
+        let en_changes = text
+            .lines()
+            .filter(|l| l.ends_with('!') && (l.starts_with('0') || l.starts_with('1')))
+            .count();
         assert_eq!(en_changes, 1, "input never changes after init");
     }
 

@@ -176,11 +176,19 @@ impl NetBuilder {
     }
 
     fn tie(&mut self, value: bool) -> NodeId {
-        let slot = if value { &mut self.tie1 } else { &mut self.tie0 };
+        let slot = if value {
+            &mut self.tie1
+        } else {
+            &mut self.tie0
+        };
         if let Some(id) = *slot {
             return id;
         }
-        let kind = if value { CellKind::Tie1 } else { CellKind::Tie0 };
+        let kind = if value {
+            CellKind::Tie1
+        } else {
+            CellKind::Tie0
+        };
         let name = self.fresh_name(if value { "tie1" } else { "tie0" });
         let id = self
             .netlist
@@ -458,8 +466,7 @@ mod tests {
         for a in [false, true] {
             for bb in [false, true] {
                 for c in [false, true] {
-                    let (s, co) =
-                        b.full_adder(Bit::Const(a), Bit::Const(bb), Bit::Const(c));
+                    let (s, co) = b.full_adder(Bit::Const(a), Bit::Const(bb), Bit::Const(c));
                     let total = a as u8 + bb as u8 + c as u8;
                     assert_eq!(s.as_const(), Some(total & 1 == 1));
                     assert_eq!(co.as_const(), Some(total >= 2));

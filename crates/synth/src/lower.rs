@@ -291,7 +291,10 @@ mod tests {
         let mut nb = b();
         let v = const_bits(0b1010, 4);
         assert_eq!(as_u64(&shift(&mut nb, &v, &const_bits(1, 2), true)), 0b0100);
-        assert_eq!(as_u64(&shift(&mut nb, &v, &const_bits(1, 2), false)), 0b0101);
+        assert_eq!(
+            as_u64(&shift(&mut nb, &v, &const_bits(1, 2), false)),
+            0b0101
+        );
         assert_eq!(nb.netlist().cell_count(), 0);
     }
 

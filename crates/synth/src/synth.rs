@@ -218,14 +218,14 @@ pub fn synthesize(module: &Module, options: &SynthOptions) -> Result<SynthResult
     }
 
     debug_assert!(netlist.validate().is_ok());
-    Ok(SynthResult { netlist, dffs: bindings })
+    Ok(SynthResult {
+        netlist,
+        dffs: bindings,
+    })
 }
 
 /// Synthesizes `count` structurally distinct variants of the same module.
-pub fn synthesize_variants(
-    module: &Module,
-    count: usize,
-) -> Result<Vec<SynthResult>, SynthError> {
+pub fn synthesize_variants(module: &Module, count: usize) -> Result<Vec<SynthResult>, SynthError> {
     (0..count as u64)
         .map(|seed| synthesize(module, &SynthOptions::variant(seed)))
         .collect()
@@ -264,11 +264,10 @@ fn eliminate_dead_logic(netlist: &Netlist) -> (Netlist, Vec<Option<NodeId>>) {
         // Roots: primary outputs (and primary inputs, which are ports and
         // must survive even when unloaded — e.g. the clock).
         match netlist.kind(id) {
-            NodeKind::PrimaryOutput | NodeKind::PrimaryInput
-                if !live[id.index()] => {
-                    live[id.index()] = true;
-                    stack.push(id);
-                }
+            NodeKind::PrimaryOutput | NodeKind::PrimaryInput if !live[id.index()] => {
+                live[id.index()] = true;
+                stack.push(id);
+            }
             _ => {}
         }
     }
@@ -445,7 +444,7 @@ mod tests {
         // One input fans out to many XORs.
         let mut src = String::from("module f(input a, input [15:0] b, output [15:0] y);\n");
         for i in 0..16 {
-            src.push_str(&format!("  assign y[{i}] = ", ));
+            src.push_str(&format!("  assign y[{i}] = ",));
             src.push_str(&format!("b[{i}] ^ a;\n"));
         }
         src.push_str("endmodule");

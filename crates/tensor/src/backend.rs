@@ -1,0 +1,744 @@
+//! Pluggable compute backends for the dense kernels.
+//!
+//! Every numeric op the autograd tape records — matmuls (forward and both
+//! backward forms), elementwise zip/map, and row reductions — dispatches
+//! through the [`Backend`] trait instead of hand-rolled loops, giving the
+//! workspace a single seam for kernel experiments (cache tiling, threads,
+//! later SIMD) without touching model code.
+//!
+//! Three implementations ship today:
+//!
+//! - [`Naive`] — the original reference loops, kept as the oracle every
+//!   other backend is tested against;
+//! - [`Blocked`] — column-tiled saxpy matmul (bit-identical to [`Naive`])
+//!   plus lane-accumulated kernels for the transposed backward forms;
+//! - [`Parallel`] — multi-threaded over row blocks via `std::thread::scope`
+//!   (this workspace builds offline, so no rayon; see DESIGN.md), behind
+//!   the on-by-default `parallel` cargo feature. Thread count comes from
+//!   `MOSS_THREADS`, else `available_parallelism`.
+//!
+//! ## Determinism
+//!
+//! Seeded experiment reproducibility is a correctness property here, so
+//! every backend guarantees **bit-identical results across thread counts**:
+//! each matmul output element is accumulated by exactly one worker in a
+//! fixed k-ascending order, and cross-row reductions ([`Backend::col_sums`],
+//! [`Backend::sum`]) combine fixed-size block partials in block order — the
+//! grouping depends only on the input shape, never on `MOSS_THREADS`.
+//!
+//! The active backend is process-global: [`active`] reads `MOSS_BACKEND`
+//! (`naive` | `blocked` | `parallel`) once, defaulting to [`Parallel`] when
+//! the `parallel` feature is enabled and [`Blocked`] otherwise.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::tensor::Tensor;
+
+/// Rows per unit of parallel work distribution. A fixed constant (never
+/// derived from the thread count) so work decomposition — and therefore
+/// floating-point grouping in reductions — is identical for any
+/// `MOSS_THREADS`.
+const ROW_BLOCK: usize = 64;
+
+/// Elements per partial in flat reductions; fixed for the same reason.
+const SUM_BLOCK: usize = 4096;
+
+/// Below this `m·k·n`, matmuls run sequentially even on [`Parallel`]
+/// (thread spawn costs more than the multiply).
+const PAR_MATMUL_MIN_FLOPS: usize = 262_144;
+
+/// Below this element count, elementwise ops run sequentially.
+const PAR_ELEMWISE_MIN: usize = 65_536;
+
+/// A dense-kernel provider.
+///
+/// Implementations must be mathematically equivalent; [`Naive`] is the
+/// reference. `crates/tensor/tests/backend_equivalence.rs` enforces
+/// agreement within 1e-5 on random shapes and exact determinism across
+/// thread counts.
+pub trait Backend: fmt::Debug + Send + Sync {
+    /// Short identifier (`"naive"`, `"blocked"`, `"parallel"`).
+    fn name(&self) -> &'static str;
+
+    /// `a × b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> Tensor;
+
+    /// `aᵀ × b` — the backward-pass form for weight gradients
+    /// (`dB = Aᵀ·dC`), kept separate so backends can skip materializing
+    /// the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts disagree.
+    fn matmul_at_b(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        self.matmul(&a.transpose(), b)
+    }
+
+    /// `a × bᵀ` — the backward-pass form for input gradients
+    /// (`dA = dC·Bᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts disagree.
+    fn matmul_a_bt(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        self.matmul(a, &b.transpose())
+    }
+
+    /// Elementwise binary map.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    fn zip_map(&self, a: &Tensor, b: &Tensor, f: &(dyn Fn(f32, f32) -> f32 + Sync)) -> Tensor {
+        assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch");
+        let data = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        Tensor::from_vec(data, a.rows(), a.cols())
+    }
+
+    /// Elementwise unary map.
+    fn map(&self, a: &Tensor, f: &(dyn Fn(f32) -> f32 + Sync)) -> Tensor {
+        let data = a.data().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(data, a.rows(), a.cols())
+    }
+
+    /// Per-column sums (an `n×d → d` reduction over rows).
+    fn col_sums(&self, a: &Tensor) -> Vec<f32> {
+        let (n, d) = a.shape();
+        let mut out = vec![0.0f32; d];
+        for r in 0..n {
+            for (acc, &v) in out.iter_mut().zip(a.row_slice(r)) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    fn sum(&self, a: &Tensor) -> f32 {
+        a.data().iter().sum()
+    }
+}
+
+fn assert_matmul_shapes(a: &Tensor, b: &Tensor) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}×{} × {}×{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+}
+
+/// Reference kernel: the original `Tensor::matmul` i-k-j loops, with the
+/// skip for zero coefficients (circuit one-hot features are mostly zeros).
+fn matmul_reference_row(a_row: &[f32], b: &Tensor, out_row: &mut [f32]) {
+    let n = b.cols();
+    for (k, &coeff) in a_row.iter().enumerate() {
+        if coeff == 0.0 {
+            continue;
+        }
+        let b_row = &b.data()[k * n..(k + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += coeff * bv;
+        }
+    }
+}
+
+/// The original single-threaded loops, kept verbatim as the oracle that
+/// [`Blocked`] and [`Parallel`] are verified against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+impl Backend for Naive {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_matmul_shapes(a, b);
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut out = vec![0.0f32; m * n];
+        for (i, out_row) in out.chunks_mut(n.max(1)).enumerate().take(m) {
+            matmul_reference_row(&a.data()[i * k..(i + 1) * k], b, out_row);
+        }
+        Tensor::from_vec(out, m, n)
+    }
+}
+
+/// Column-tiled saxpy kernels.
+///
+/// The forward matmul keeps [`Naive`]'s saxpy form — the independent j
+/// lanes auto-vectorize, unlike a strictly-ordered dot product — and tiles
+/// the output columns so, for wide `B`, the output tile and the matching
+/// strip of each `B` row stay cache-resident. Per output element the
+/// k-summation order (including the zero skip) is exactly [`Naive`]'s, so
+/// the two agree bit-for-bit. The `a × bᵀ` backward form instead walks
+/// contiguous rows of `b` with a fixed 8-lane accumulator dot product:
+/// deterministic (the lane grouping depends only on the length) and
+/// vectorizable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Blocked;
+
+/// Output-column tile width: an out tile plus the matching strip of a `B`
+/// row stays in L1 even for very wide matrices.
+const J_TILE: usize = 512;
+
+/// One output row of `a × b`, j-tiled. For `n ≤ J_TILE` this is exactly
+/// [`matmul_reference_row`].
+fn matmul_row_tiled(a_row: &[f32], b: &Tensor, out_row: &mut [f32]) {
+    let n = b.cols();
+    if n <= J_TILE {
+        return matmul_reference_row(a_row, b, out_row);
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + J_TILE).min(n);
+        for (k, &coeff) in a_row.iter().enumerate() {
+            if coeff == 0.0 {
+                continue;
+            }
+            let b_strip = &b.data()[k * n + j0..k * n + j1];
+            for (o, &bv) in out_row[j0..j1].iter_mut().zip(b_strip) {
+                *o += coeff * bv;
+            }
+        }
+        j0 = j1;
+    }
+}
+
+/// Dot product with 8 fixed-stride accumulator lanes (lane `l` sums the
+/// elements at indices `≡ l mod 8`, folded lane-ascending, tail last).
+/// The grouping depends only on the length, never on threads, so results
+/// are deterministic — and the independent lanes vectorize.
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let xc = x.chunks_exact(LANES);
+    let yc = y.chunks_exact(LANES);
+    let (xrem, yrem) = (xc.remainder(), yc.remainder());
+    for (xs, ys) in xc.zip(yc) {
+        for l in 0..LANES {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut s = acc.iter().sum::<f32>();
+    for (&a, &b) in xrem.iter().zip(yrem) {
+        s += a * b;
+    }
+    s
+}
+
+/// `a × bᵀ` needs no transpose: rows of `b` are already contiguous in the
+/// shared dimension.
+fn matmul_a_bt_row(a_row: &[f32], b: &Tensor, out_row: &mut [f32]) {
+    let l = a_row.len();
+    for (j, o) in out_row.iter_mut().enumerate() {
+        *o = dot(a_row, &b.data()[j * l..(j + 1) * l]);
+    }
+}
+
+impl Backend for Blocked {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_matmul_shapes(a, b);
+        let (m, k) = a.shape();
+        let n = b.cols();
+        if m * k * n == 0 {
+            return Tensor::zeros(m, n);
+        }
+        let mut out = vec![0.0f32; m * n];
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            matmul_row_tiled(&a.data()[i * k..(i + 1) * k], b, out_row);
+        }
+        Tensor::from_vec(out, m, n)
+    }
+
+    fn matmul_a_bt(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(
+            a.cols(),
+            b.cols(),
+            "matmul_a_bt shape mismatch: {}×{} × ({}×{})ᵀ",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let (m, l) = a.shape();
+        let n = b.rows();
+        if m * l * n == 0 {
+            return Tensor::zeros(m, n);
+        }
+        let mut out = vec![0.0f32; m * n];
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            matmul_a_bt_row(&a.data()[i * l..(i + 1) * l], b, out_row);
+        }
+        Tensor::from_vec(out, m, n)
+    }
+}
+
+/// Multi-threaded kernels: row blocks distributed over scoped threads.
+///
+/// Sequential below the size thresholds (thread spawn would dominate), and
+/// identical arithmetic to [`Blocked`] above them — each output row is
+/// produced wholly by one worker, so results are bit-identical for any
+/// thread count, including 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Parallel {
+    threads: Option<usize>,
+}
+
+impl Parallel {
+    /// Thread count from `MOSS_THREADS` / `available_parallelism`.
+    pub const fn new() -> Parallel {
+        Parallel { threads: None }
+    }
+
+    /// A backend pinned to exactly `n` worker threads (used by the
+    /// determinism tests).
+    pub const fn with_threads(n: usize) -> Parallel {
+        Parallel { threads: Some(n) }
+    }
+
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(configured_threads).max(1)
+    }
+}
+
+/// The process-wide worker count: `MOSS_THREADS` if set to a positive
+/// integer, else `std::thread::available_parallelism`.
+pub fn configured_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("MOSS_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Runs `kernel(row_index, out_row)` for every row of an `rows×cols`
+/// output buffer, fanning fixed-size row blocks out round-robin to
+/// `threads` scoped workers. Each row is written by exactly one worker, so
+/// the result cannot depend on scheduling.
+fn for_each_row(
+    out: &mut [f32],
+    cols: usize,
+    threads: usize,
+    kernel: &(dyn Fn(usize, &mut [f32]) + Sync),
+) {
+    if out.is_empty() || cols == 0 {
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    if threads > 1 && out.len() > ROW_BLOCK * cols {
+        let mut buckets: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (blk, chunk) in out.chunks_mut(ROW_BLOCK * cols).enumerate() {
+            buckets[blk % threads].push((blk * ROW_BLOCK, chunk));
+        }
+        std::thread::scope(|s| {
+            for bucket in buckets {
+                s.spawn(move || {
+                    for (row0, chunk) in bucket {
+                        for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                            kernel(row0 + r, out_row);
+                        }
+                    }
+                });
+            }
+        });
+        return;
+    }
+    let _ = threads;
+    for (row, out_row) in out.chunks_mut(cols).enumerate() {
+        kernel(row, out_row);
+    }
+}
+
+impl Backend for Parallel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_matmul_shapes(a, b);
+        let (m, k) = a.shape();
+        let n = b.cols();
+        if m * k * n == 0 {
+            return Tensor::zeros(m, n);
+        }
+        let threads = if m * k * n < PAR_MATMUL_MIN_FLOPS {
+            1
+        } else {
+            self.threads()
+        };
+        let mut out = vec![0.0f32; m * n];
+        let a_data = a.data();
+        for_each_row(&mut out, n, threads, &|i, out_row| {
+            matmul_row_tiled(&a_data[i * k..(i + 1) * k], b, out_row);
+        });
+        Tensor::from_vec(out, m, n)
+    }
+
+    fn matmul_a_bt(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(
+            a.cols(),
+            b.cols(),
+            "matmul_a_bt shape mismatch: {}×{} × ({}×{})ᵀ",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let (m, l) = a.shape();
+        let n = b.rows();
+        if m * l * n == 0 {
+            return Tensor::zeros(m, n);
+        }
+        let threads = if m * l * n < PAR_MATMUL_MIN_FLOPS {
+            1
+        } else {
+            self.threads()
+        };
+        let mut out = vec![0.0f32; m * n];
+        let a_data = a.data();
+        for_each_row(&mut out, n, threads, &|i, out_row| {
+            matmul_a_bt_row(&a_data[i * l..(i + 1) * l], b, out_row);
+        });
+        Tensor::from_vec(out, m, n)
+    }
+
+    fn zip_map(&self, a: &Tensor, b: &Tensor, f: &(dyn Fn(f32, f32) -> f32 + Sync)) -> Tensor {
+        assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch");
+        let len = a.data().len();
+        if len < PAR_ELEMWISE_MIN || self.threads() <= 1 {
+            return Blocked.zip_map(a, b, f);
+        }
+        let mut out = vec![0.0f32; len];
+        let (ad, bd) = (a.data(), b.data());
+        // Reuse the row machinery with SUM_BLOCK-wide "rows": every
+        // element is independent, so any partition is exact.
+        for_each_row(
+            &mut out,
+            SUM_BLOCK.min(len),
+            self.threads(),
+            &|blk, chunk| {
+                let base = blk * SUM_BLOCK.min(len);
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    *o = f(ad[base + j], bd[base + j]);
+                }
+            },
+        );
+        Tensor::from_vec(out, a.rows(), a.cols())
+    }
+
+    fn map(&self, a: &Tensor, f: &(dyn Fn(f32) -> f32 + Sync)) -> Tensor {
+        let len = a.data().len();
+        if len < PAR_ELEMWISE_MIN || self.threads() <= 1 {
+            return Blocked.map(a, f);
+        }
+        let mut out = vec![0.0f32; len];
+        let ad = a.data();
+        for_each_row(
+            &mut out,
+            SUM_BLOCK.min(len),
+            self.threads(),
+            &|blk, chunk| {
+                let base = blk * SUM_BLOCK.min(len);
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    *o = f(ad[base + j]);
+                }
+            },
+        );
+        Tensor::from_vec(out, a.rows(), a.cols())
+    }
+
+    fn col_sums(&self, a: &Tensor) -> Vec<f32> {
+        let (n, d) = a.shape();
+        if n * d == 0 {
+            return vec![0.0; d];
+        }
+        // Fixed-size row blocks → per-block partials → ordered fold. The
+        // grouping depends only on the shape, so any thread count (and the
+        // sequential path) produces bit-identical sums.
+        let n_blocks = n.div_ceil(ROW_BLOCK);
+        let partial = |blk: usize| {
+            let lo = blk * ROW_BLOCK;
+            let hi = (lo + ROW_BLOCK).min(n);
+            let mut acc = vec![0.0f32; d];
+            for r in lo..hi {
+                for (s, &v) in acc.iter_mut().zip(a.row_slice(r)) {
+                    *s += v;
+                }
+            }
+            acc
+        };
+        let partials: Vec<Vec<f32>> = if n_blocks > 1 && self.threads() > 1 {
+            par_map_indexed(n_blocks, self.threads(), &|blk| partial(blk))
+        } else {
+            (0..n_blocks).map(partial).collect()
+        };
+        let mut out = vec![0.0f32; d];
+        for p in &partials {
+            for (s, &v) in out.iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        out
+    }
+
+    fn sum(&self, a: &Tensor) -> f32 {
+        let data = a.data();
+        if data.is_empty() {
+            return 0.0;
+        }
+        let n_blocks = data.len().div_ceil(SUM_BLOCK);
+        let partial = |blk: usize| {
+            let lo = blk * SUM_BLOCK;
+            let hi = (lo + SUM_BLOCK).min(data.len());
+            data[lo..hi].iter().sum::<f32>()
+        };
+        let partials: Vec<f32> = if n_blocks > 1 && self.threads() > 1 {
+            par_map_indexed(n_blocks, self.threads(), &|blk| partial(blk))
+        } else {
+            (0..n_blocks).map(partial).collect()
+        };
+        partials.iter().sum()
+    }
+}
+
+/// `(0..n).map(f)` with work-stealing across `threads` scoped workers;
+/// results are returned in index order regardless of which worker ran
+/// which index.
+fn par_map_indexed<U: Send>(n: usize, threads: usize, f: &(dyn Fn(usize) -> U + Sync)) -> Vec<U> {
+    #[cfg(feature = "parallel")]
+    if threads > 1 && n > 1 {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(n);
+        let locals: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("backend worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for local in locals {
+            for (i, v) in local {
+                out[i] = Some(v);
+            }
+        }
+        return out
+            .into_iter()
+            .map(|v| v.expect("index computed"))
+            .collect();
+    }
+    let _ = threads;
+    (0..n).map(f).collect()
+}
+
+/// Applies `f` to every item of `items` — in parallel when the `parallel`
+/// feature is on and the active thread count allows — returning results in
+/// input order.
+///
+/// This is the workspace-wide primitive for embarrassingly parallel loops
+/// (per-circuit ground-truth generation, batched encoder forwards). `f`
+/// receives `(index, &item)`; output order never depends on scheduling.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_indexed(items.len(), configured_threads(), &|i| f(i, &items[i]))
+}
+
+static NAIVE: Naive = Naive;
+static BLOCKED: Blocked = Blocked;
+static PARALLEL: Parallel = Parallel::new();
+
+fn default_backend() -> &'static dyn Backend {
+    #[cfg(feature = "parallel")]
+    {
+        &PARALLEL
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        &BLOCKED
+    }
+}
+
+/// The process-wide active backend.
+///
+/// Chosen once from `MOSS_BACKEND` (`naive` | `blocked` | `parallel`);
+/// unset defaults to [`Parallel`] with the `parallel` feature, [`Blocked`]
+/// without.
+///
+/// # Panics
+///
+/// Panics on an unrecognized `MOSS_BACKEND` value.
+pub fn active() -> &'static dyn Backend {
+    static ACTIVE: OnceLock<&'static dyn Backend> = OnceLock::new();
+    *ACTIVE.get_or_init(|| match std::env::var("MOSS_BACKEND").as_deref() {
+        Ok("naive") => &NAIVE,
+        Ok("blocked") => &BLOCKED,
+        Ok("parallel") => &PARALLEL,
+        Ok(other) => panic!("unknown MOSS_BACKEND {other:?}; expected naive|blocked|parallel"),
+        Err(_) => default_backend(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arange(rows: usize, cols: usize, scale: f32) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| ((i * 2_654_435_761 % 1000) as f32 / 500.0 - 1.0) * scale)
+            .collect();
+        Tensor::from_vec(data, rows, cols)
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!((x - y).abs() <= tol, "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_matmul() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 4), (17, 9, 33), (70, 80, 90)] {
+            let a = arange(m, k, 1.0);
+            let b = arange(k, n, 0.5);
+            let reference = Naive.matmul(&a, &b);
+            assert_close(&Blocked.matmul(&a, &b), &reference, 1e-5, "blocked");
+            assert_close(
+                &Parallel::with_threads(3).matmul(&a, &b),
+                &reference,
+                1e-5,
+                "parallel",
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_forms_match_explicit_transpose() {
+        let a = arange(13, 7, 1.0);
+        let b = arange(13, 5, 0.7);
+        let reference = Naive.matmul(&a.transpose(), &b);
+        for backend in [&Blocked as &dyn Backend, &Parallel::with_threads(2)] {
+            assert_close(&backend.matmul_at_b(&a, &b), &reference, 1e-5, "at_b");
+        }
+        let c = arange(11, 7, 0.9);
+        let reference = Naive.matmul(&a, &c.transpose());
+        for backend in [&Blocked as &dyn Backend, &Parallel::with_threads(2)] {
+            assert_close(&backend.matmul_a_bt(&a, &c), &reference, 1e-5, "a_bt");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts() {
+        // Big enough to clear every parallel threshold.
+        let a = arange(300, 80, 1.0);
+        let b = arange(80, 70, 0.3);
+        let wide = arange(3, 30_000, 0.1);
+        let t1 = Parallel::with_threads(1);
+        for threads in [2, 4, 7] {
+            let tn = Parallel::with_threads(threads);
+            assert_eq!(
+                t1.matmul(&a, &b).data(),
+                tn.matmul(&a, &b).data(),
+                "matmul at {threads} threads"
+            );
+            assert_eq!(
+                t1.col_sums(&wide),
+                tn.col_sums(&wide),
+                "col_sums at {threads} threads"
+            );
+            assert_eq!(t1.sum(&wide), tn.sum(&wide), "sum at {threads} threads");
+            assert_eq!(
+                t1.map(&wide, &|x| x * 1.5 + 0.1).data(),
+                tn.map(&wide, &|x| x * 1.5 + 0.1).data(),
+                "map at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn reductions_match_reference() {
+        let a = arange(130, 7, 1.0);
+        let reference = Naive.col_sums(&a);
+        let par = Parallel::with_threads(4).col_sums(&a);
+        for (r, p) in reference.iter().zip(&par) {
+            assert!((r - p).abs() < 1e-4, "{r} vs {p}");
+        }
+        assert!((Naive.sum(&a) - Parallel::with_threads(4).sum(&a)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |i, &v| {
+            assert_eq!(i, v);
+            v * v
+        });
+        assert_eq!(out, items.iter().map(|&v| v * v).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(par_map(&empty, |_, &v| v).is_empty());
+    }
+
+    #[test]
+    fn empty_shapes_are_handled() {
+        let a = Tensor::zeros(0, 5);
+        let b = Tensor::zeros(5, 3);
+        for backend in [&Naive as &dyn Backend, &Blocked, &Parallel::new()] {
+            assert_eq!(backend.matmul(&a, &b).shape(), (0, 3), "{}", backend.name());
+            assert_eq!(backend.sum(&a), 0.0);
+        }
+    }
+
+    #[test]
+    fn active_backend_resolves() {
+        // Whatever the env says, the process-global must resolve and work.
+        let b = active();
+        let x = Tensor::eye(3);
+        assert_eq!(b.matmul(&x, &x), x);
+        assert!(!b.name().is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use crate::backend::{self, Backend};
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -53,8 +54,9 @@ impl Gradients {
 
     /// Scales all gradients in place (used for clipping).
     pub fn scale(&mut self, factor: f32) {
+        let be = backend::active();
         for g in self.by_param.values_mut() {
-            *g = g.map(|x| x * factor);
+            *g = be.map(g, &|x| x * factor);
         }
     }
 }
@@ -119,15 +121,36 @@ struct Node {
 /// // d(w·x)/dw = x = 3.
 /// assert_eq!(grads.get(w).unwrap().get(0, 0), 3.0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Graph {
     nodes: Vec<Node>,
+    backend: &'static dyn Backend,
+}
+
+impl Default for Graph {
+    fn default() -> Graph {
+        Graph::new()
+    }
 }
 
 impl Graph {
-    /// An empty tape.
+    /// An empty tape on the process-wide [`backend::active`] backend.
     pub fn new() -> Graph {
-        Graph::default()
+        Graph::with_backend(backend::active())
+    }
+
+    /// An empty tape pinned to a specific compute backend (tests and
+    /// benchmarks; production code uses [`Graph::new`]).
+    pub fn with_backend(backend: &'static dyn Backend) -> Graph {
+        Graph {
+            nodes: Vec::new(),
+            backend,
+        }
+    }
+
+    /// The backend this tape dispatches its kernels to.
+    pub fn backend(&self) -> &'static dyn Backend {
+        self.backend
     }
 
     /// The forward value of a node.
@@ -163,31 +186,37 @@ impl Graph {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let v = self.backend.matmul(self.value(a), self.value(b));
         self.push(Op::MatMul(a, b), v)
     }
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        let v = self
+            .backend
+            .zip_map(self.value(a), self.value(b), &|x, y| x + y);
         self.push(Op::Add(a, b), v)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        let v = self
+            .backend
+            .zip_map(self.value(a), self.value(b), &|x, y| x - y);
         self.push(Op::Sub(a, b), v)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        let v = self
+            .backend
+            .zip_map(self.value(a), self.value(b), &|x, y| x * y);
         self.push(Op::Mul(a, b), v)
     }
 
     /// Multiplication by a compile-time constant.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map(|x| x * c);
+        let v = self.backend.map(self.value(a), &|x| x * c);
         self.push(Op::Scale(a, c), v)
     }
 
@@ -198,7 +227,11 @@ impl Graph {
     /// Panics if `row` is not `1×d`.
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let (n, d) = self.value(a).shape();
-        assert_eq!(self.value(row).shape(), (1, d), "broadcast row must be 1×{d}");
+        assert_eq!(
+            self.value(row).shape(),
+            (1, d),
+            "broadcast row must be 1×{d}"
+        );
         let mut out = self.value(a).clone();
         for i in 0..n {
             for j in 0..d {
@@ -217,7 +250,7 @@ impl Graph {
     pub fn mul_scalar_var(&mut self, a: Var, s: Var) -> Var {
         assert_eq!(self.value(s).shape(), (1, 1), "scalar must be 1×1");
         let c = self.value(s).get(0, 0);
-        let v = self.value(a).map(|x| x * c);
+        let v = self.backend.map(self.value(a), &|x| x * c);
         self.push(Op::MulScalarVar(a, s), v)
     }
 
@@ -229,31 +262,31 @@ impl Graph {
 
     /// ReLU activation.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let v = self.backend.map(self.value(a), &|x| x.max(0.0));
         self.push(Op::Relu(a), v)
     }
 
     /// GELU activation (tanh approximation).
     pub fn gelu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(gelu);
+        let v = self.backend.map(self.value(a), &gelu);
         self.push(Op::Gelu(a), v)
     }
 
     /// Tanh activation.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        let v = self.backend.map(self.value(a), &f32::tanh);
         self.push(Op::Tanh(a), v)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(sigmoid);
+        let v = self.backend.map(self.value(a), &sigmoid);
         self.push(Op::Sigmoid(a), v)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::exp);
+        let v = self.backend.map(self.value(a), &f32::exp);
         self.push(Op::Exp(a), v)
     }
 
@@ -266,26 +299,27 @@ impl Graph {
     /// Mean over rows: `n×d → 1×d`.
     pub fn mean_rows(&mut self, a: Var) -> Var {
         let (n, d) = self.value(a).shape();
-        let mut out = Tensor::zeros(1, d);
-        for i in 0..n {
-            for j in 0..d {
-                out.set(0, j, out.get(0, j) + self.value(a).get(i, j));
-            }
-        }
-        let out = out.map(|x| x / n.max(1) as f32);
+        let inv = 1.0 / n.max(1) as f32;
+        let sums = self.backend.col_sums(self.value(a));
+        let out = Tensor::from_vec(sums.into_iter().map(|s| s * inv).collect(), 1, d);
         self.push(Op::MeanRows(a), out)
     }
 
     /// Sum of all elements → `1×1`.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_rows(&[&[self.value(a).sum()]]);
+        let v = Tensor::from_rows(&[&[self.backend.sum(self.value(a))]]);
         self.push(Op::SumAll(a), v)
     }
 
     /// Mean of all elements → `1×1`.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_rows(&[&[self.value(a).mean()]]);
-        self.push(Op::MeanAll(a), v)
+        let len = self.value(a).data().len();
+        let mean = if len == 0 {
+            0.0
+        } else {
+            self.backend.sum(self.value(a)) / len as f32
+        };
+        self.push(Op::MeanAll(a), Tensor::from_rows(&[&[mean]]))
     }
 
     /// Horizontal concatenation `n×a ++ n×b → n×(a+b)`.
@@ -391,7 +425,11 @@ impl Graph {
     /// Panics if `col` is not `n×1`.
     pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
         let (n, d) = self.value(a).shape();
-        assert_eq!(self.value(col).shape(), (n, 1), "broadcast column must be {n}×1");
+        assert_eq!(
+            self.value(col).shape(),
+            (n, 1),
+            "broadcast column must be {n}×1"
+        );
         let mut out = self.value(a).clone();
         for i in 0..n {
             let c = self.value(col).get(i, 0);
@@ -422,7 +460,7 @@ impl Graph {
     ///
     /// Panics if the mask shape differs.
     pub fn dropout(&mut self, a: Var, mask: Tensor) -> Var {
-        let v = self.value(a).zip_map(&mask, |x, m| x * m);
+        let v = self.backend.zip_map(self.value(a), &mask, &|x, m| x * m);
         self.push(Op::Dropout(a, mask), v)
     }
 
@@ -438,7 +476,13 @@ impl Graph {
         let loss = diff
             .data()
             .iter()
-            .map(|&d| if d.abs() < 1.0 { 0.5 * d * d } else { d.abs() - 0.5 })
+            .map(|&d| {
+                if d.abs() < 1.0 {
+                    0.5 * d * d
+                } else {
+                    d.abs() - 0.5
+                }
+            })
             .sum::<f32>()
             / diff.data().len().max(1) as f32;
         self.push(Op::SmoothL1(pred, target), Tensor::from_rows(&[&[loss]]))
@@ -458,7 +502,13 @@ impl Graph {
             .data()
             .iter()
             .zip(weights.data())
-            .map(|(&d, &w)| w * if d.abs() < 1.0 { 0.5 * d * d } else { d.abs() - 0.5 })
+            .map(|(&d, &w)| {
+                w * if d.abs() < 1.0 {
+                    0.5 * d * d
+                } else {
+                    d.abs() - 0.5
+                }
+            })
             .sum::<f32>()
             / wsum;
         self.push(
@@ -519,7 +569,9 @@ impl Graph {
         let mut out = Gradients::default();
 
         for i in (0..n).rev() {
-            let Some(grad) = grads[i].take() else { continue };
+            let Some(grad) = grads[i].take() else {
+                continue;
+            };
             let op = self.nodes[i].op.clone();
             match op {
                 Op::Leaf => {}
@@ -531,8 +583,8 @@ impl Graph {
                     *entry = entry.zip_map(&grad, |a, b| a + b);
                 }
                 Op::MatMul(a, b) => {
-                    let da = grad.matmul(&self.nodes[b.0].value.transpose());
-                    let db = self.nodes[a.0].value.transpose().matmul(&grad);
+                    let da = self.backend.matmul_a_bt(&grad, &self.nodes[b.0].value);
+                    let db = self.backend.matmul_at_b(&self.nodes[a.0].value, &grad);
                     accumulate(&mut grads, a.0, da);
                     accumulate(&mut grads, b.0, db);
                 }
@@ -542,15 +594,19 @@ impl Graph {
                 }
                 Op::Sub(a, b) => {
                     accumulate(&mut grads, a.0, grad.clone());
-                    accumulate(&mut grads, b.0, grad.map(|x| -x));
+                    accumulate(&mut grads, b.0, self.backend.map(&grad, &|x| -x));
                 }
                 Op::Mul(a, b) => {
-                    let da = grad.zip_map(&self.nodes[b.0].value, |g, y| g * y);
-                    let db = grad.zip_map(&self.nodes[a.0].value, |g, x| g * x);
+                    let da = self
+                        .backend
+                        .zip_map(&grad, &self.nodes[b.0].value, &|g, y| g * y);
+                    let db = self
+                        .backend
+                        .zip_map(&grad, &self.nodes[a.0].value, &|g, x| g * x);
                     accumulate(&mut grads, a.0, da);
                     accumulate(&mut grads, b.0, db);
                 }
-                Op::Scale(a, c) => accumulate(&mut grads, a.0, grad.map(|x| x * c)),
+                Op::Scale(a, c) => accumulate(&mut grads, a.0, self.backend.map(&grad, &|x| x * c)),
                 Op::AddRow(a, r) => {
                     accumulate(&mut grads, a.0, grad.clone());
                     let (gn, gd) = grad.shape();
@@ -564,37 +620,48 @@ impl Graph {
                 }
                 Op::MulScalarVar(a, s) => {
                     let c = self.nodes[s.0].value.get(0, 0);
-                    accumulate(&mut grads, a.0, grad.map(|x| x * c));
-                    let ds = grad
-                        .zip_map(&self.nodes[a.0].value, |g, x| g * x)
-                        .sum();
+                    accumulate(&mut grads, a.0, self.backend.map(&grad, &|x| x * c));
+                    let prod = self
+                        .backend
+                        .zip_map(&grad, &self.nodes[a.0].value, &|g, x| g * x);
+                    let ds = self.backend.sum(&prod);
                     accumulate(&mut grads, s.0, Tensor::from_rows(&[&[ds]]));
                 }
                 Op::Transpose(a) => accumulate(&mut grads, a.0, grad.transpose()),
                 Op::Relu(a) => {
-                    let dx = grad.zip_map(&self.nodes[a.0].value, |g, x| {
-                        if x > 0.0 {
-                            g
-                        } else {
-                            0.0
-                        }
-                    });
+                    let dx = self
+                        .backend
+                        .zip_map(&grad, &self.nodes[a.0].value, &|g, x| {
+                            if x > 0.0 {
+                                g
+                            } else {
+                                0.0
+                            }
+                        });
                     accumulate(&mut grads, a.0, dx);
                 }
                 Op::Gelu(a) => {
-                    let dx = grad.zip_map(&self.nodes[a.0].value, |g, x| g * gelu_grad(x));
+                    let dx = self
+                        .backend
+                        .zip_map(&grad, &self.nodes[a.0].value, &|g, x| g * gelu_grad(x));
                     accumulate(&mut grads, a.0, dx);
                 }
                 Op::Tanh(a) => {
-                    let dx = grad.zip_map(&self.nodes[i].value, |g, y| g * (1.0 - y * y));
+                    let dx = self
+                        .backend
+                        .zip_map(&grad, &self.nodes[i].value, &|g, y| g * (1.0 - y * y));
                     accumulate(&mut grads, a.0, dx);
                 }
                 Op::Sigmoid(a) => {
-                    let dx = grad.zip_map(&self.nodes[i].value, |g, y| g * y * (1.0 - y));
+                    let dx = self
+                        .backend
+                        .zip_map(&grad, &self.nodes[i].value, &|g, y| g * y * (1.0 - y));
                     accumulate(&mut grads, a.0, dx);
                 }
                 Op::Exp(a) => {
-                    let dx = grad.zip_map(&self.nodes[i].value, |g, y| g * y);
+                    let dx = self
+                        .backend
+                        .zip_map(&grad, &self.nodes[i].value, &|g, y| g * y);
                     accumulate(&mut grads, a.0, dx);
                 }
                 Op::SoftmaxRows(a) => {
@@ -753,21 +820,27 @@ impl Graph {
                     accumulate(&mut grads, a.0, dx);
                 }
                 Op::Dropout(a, mask) => {
-                    let dx = grad.zip_map(&mask, |g, m| g * m);
+                    let dx = self.backend.zip_map(&grad, &mask, &|g, m| g * m);
                     accumulate(&mut grads, a.0, dx);
                 }
                 Op::SmoothL1(pred, target) => {
                     let g = grad.get(0, 0);
-                    let diff = self.nodes[pred.0].value.zip_map(&target, |p, t| p - t);
+                    let diff = self
+                        .backend
+                        .zip_map(&self.nodes[pred.0].value, &target, &|p, t| p - t);
                     let len = diff.data().len().max(1) as f32;
-                    let dx = diff.map(|d| g * d.clamp(-1.0, 1.0) / len);
+                    let dx = self.backend.map(&diff, &|d| g * d.clamp(-1.0, 1.0) / len);
                     accumulate(&mut grads, pred.0, dx);
                 }
                 Op::SmoothL1Weighted(pred, target, weights) => {
                     let g = grad.get(0, 0);
-                    let diff = self.nodes[pred.0].value.zip_map(&target, |p, t| p - t);
+                    let diff = self
+                        .backend
+                        .zip_map(&self.nodes[pred.0].value, &target, &|p, t| p - t);
                     let wsum: f32 = weights.data().iter().sum::<f32>().max(1e-12);
-                    let dx = diff.zip_map(&weights, |d, w| g * w * d.clamp(-1.0, 1.0) / wsum);
+                    let dx = self
+                        .backend
+                        .zip_map(&diff, &weights, &|d, w| g * w * d.clamp(-1.0, 1.0) / wsum);
                     accumulate(&mut grads, pred.0, dx);
                 }
                 Op::CrossEntropyRows(logits, labels) => {
@@ -946,7 +1019,10 @@ mod tests {
     #[test]
     fn gather_rows_scatters_gradient() {
         let mut store = ParamStore::new();
-        let e = store.add("emb", Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]));
+        let e = store.add(
+            "emb",
+            Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]),
+        );
         let mut g = Graph::new();
         let ev = g.param(e, &store);
         let picked = g.gather_rows(ev, &[2, 2, 0]);

@@ -11,6 +11,8 @@
 //!   normalization, gather/concat/slice, dropout, and the paper's losses
 //!   (smooth-L1 for Etoggle/EAT/RrNdM/RNM; symmetric row/column
 //!   cross-entropy for the CLIP-style RNC loss of Fig. 6);
+//! - [`Backend`] ([`Naive`]/[`Blocked`]/[`Parallel`]): pluggable compute
+//!   backends every dense kernel dispatches through — see [`backend`];
 //! - [`ParamStore`]/[`Adam`]/[`Sgd`]: named parameters and optimizers;
 //! - [`max_gradient_error`]: finite-difference gradient checking;
 //! - [`save_params`]/[`load_params`]: binary checkpoints.
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 mod gradcheck;
 mod graph;
 mod optim;
@@ -43,7 +46,8 @@ mod params;
 mod serialize;
 mod tensor;
 
-pub use gradcheck::max_gradient_error;
+pub use backend::{par_map, Backend, Blocked, Naive, Parallel};
+pub use gradcheck::{max_gradient_error, max_gradient_error_with_backend};
 pub use graph::{l2_normalize_rows, layer_norm_rows, softmax_rows, Gradients, Graph, Var};
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, ParamStore};

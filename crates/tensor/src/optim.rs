@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::backend;
 use crate::graph::Gradients;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
@@ -81,19 +82,18 @@ impl Adam {
         };
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2) = (self.beta1, self.beta2);
+        let (lr, eps) = (self.lr, self.eps);
+        let be = backend::active();
         for (id, grad) in grads.iter() {
-            let g = grad.map(|x| x * scale);
+            let g = be.map(grad, &|x| x * scale);
             let (r, c) = g.shape();
             let m = self.m.entry(id).or_insert_with(|| Tensor::zeros(r, c));
             let v = self.v.entry(id).or_insert_with(|| Tensor::zeros(r, c));
-            *m = m.zip_map(&g, |mi, gi| self.beta1 * mi + (1.0 - self.beta1) * gi);
-            *v = v.zip_map(&g, |vi, gi| self.beta2 * vi + (1.0 - self.beta2) * gi * gi);
-            let mut new = store.get(id).clone();
-            for i in 0..new.data().len() {
-                let mhat = m.data()[i] / bc1;
-                let vhat = v.data()[i] / bc2;
-                new.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            *m = be.zip_map(m, &g, &|mi, gi| b1 * mi + (1.0 - b1) * gi);
+            *v = be.zip_map(v, &g, &|vi, gi| b2 * vi + (1.0 - b2) * gi * gi);
+            let step = be.zip_map(m, v, &|mi, vi| lr * (mi / bc1) / ((vi / bc2).sqrt() + eps));
+            let new = be.zip_map(store.get(id), &step, &|w, s| w - s);
             store.set(id, new);
         }
     }
@@ -113,8 +113,10 @@ impl Sgd {
 
     /// Applies one update step.
     pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        let lr = self.lr;
+        let be = backend::active();
         for (id, grad) in grads.iter() {
-            let new = store.get(id).zip_map(grad, |w, g| w - self.lr * g);
+            let new = be.zip_map(store.get(id), grad, &|w, g| w - lr * g);
             store.set(id, new);
         }
     }

@@ -3,8 +3,8 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moss_prng::rngs::StdRng;
+use moss_prng::{Rng, SeedableRng};
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -129,7 +129,10 @@ impl Tensor {
     ///
     /// Panics on out-of-bounds indices.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -139,7 +142,10 @@ impl Tensor {
     ///
     /// Panics on out-of-bounds indices.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -148,7 +154,8 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self × rhs`.
+    /// Matrix product `self × rhs`, dispatched through the process-wide
+    /// active compute backend (see [`crate::backend::active`]).
     ///
     /// # Panics
     ///
@@ -159,21 +166,7 @@ impl Tensor {
             "matmul shape mismatch: {}×{} × {}×{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Tensor::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for j in 0..rhs.cols {
-                    orow[j] += a * rrow[j];
-                }
-            }
-        }
-        out
+        crate::backend::active().matmul(self, rhs)
     }
 
     /// The transpose.

@@ -1,0 +1,182 @@
+//! Backend-equivalence properties: `Naive`, `Blocked`, and `Parallel`
+//! must agree within 1e-5 on random shapes, the `Parallel` backend must be
+//! bit-identical across thread counts, and gradcheck must pass through
+//! every backend.
+//!
+//! Deterministic loop-based properties (this workspace builds offline, so
+//! no proptest).
+
+use moss_prng::rngs::StdRng;
+use moss_prng::{Rng, SeedableRng};
+use moss_tensor::backend::Backend;
+use moss_tensor::{max_gradient_error_with_backend, Blocked, Naive, Parallel, ParamStore, Tensor};
+
+const CASES: u64 = 24;
+
+static PAR2: Parallel = Parallel::with_threads(2);
+static PAR4: Parallel = Parallel::with_threads(4);
+
+fn backends() -> [(&'static str, &'static dyn Backend); 4] {
+    [
+        ("naive", &Naive),
+        ("blocked", &Blocked),
+        ("parallel-2", &PAR2),
+        ("parallel-4", &PAR4),
+    ]
+}
+
+fn random_tensor(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-2.0f32..2.0))
+        .collect();
+    Tensor::from_vec(data, rows, cols)
+}
+
+fn assert_agree(reference: &Tensor, other: &Tensor, what: &str) {
+    assert_eq!(reference.shape(), other.shape(), "{what}: shape mismatch");
+    for (i, (&x, &y)) in reference.data().iter().zip(other.data()).enumerate() {
+        assert!((x - y).abs() <= 1e-5, "{what}[{i}]: naive {x} vs {y}");
+    }
+}
+
+#[test]
+fn backends_agree_on_random_matmul_shapes() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = rng.gen_range(1..40usize);
+        let k = rng.gen_range(1..40usize);
+        let n = rng.gen_range(1..40usize);
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        let reference = Naive.matmul(&a, &b);
+        for (name, backend) in backends() {
+            assert_agree(
+                &reference,
+                &backend.matmul(&a, &b),
+                &format!("matmul {name} {m}x{k}x{n}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_backward_matmul_forms() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let m = rng.gen_range(1..30usize);
+        let k = rng.gen_range(1..30usize);
+        let n = rng.gen_range(1..30usize);
+        // Forward C = A(m×k)·B(k×n); grads use Aᵀ·dC and dC·Bᵀ.
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        let grad = random_tensor(m, n, &mut rng);
+        let db_ref = Naive.matmul_at_b(&a, &grad);
+        let da_ref = Naive.matmul_a_bt(&grad, &b);
+        for (name, backend) in backends() {
+            assert_agree(
+                &db_ref,
+                &backend.matmul_at_b(&a, &grad),
+                &format!("matmul_at_b {name}"),
+            );
+            assert_agree(
+                &da_ref,
+                &backend.matmul_a_bt(&grad, &b),
+                &format!("matmul_a_bt {name}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_agree_above_parallel_thresholds() {
+    // Shapes past PAR_MATMUL_MIN_FLOPS so the threaded paths really run.
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = random_tensor(300, 80, &mut rng);
+    let b = random_tensor(80, 70, &mut rng);
+    let reference = Naive.matmul(&a, &b);
+    for (name, backend) in backends() {
+        assert_agree(
+            &reference,
+            &backend.matmul(&a, &b),
+            &format!("big matmul {name}"),
+        );
+    }
+    let ref_sums = Naive.col_sums(&a);
+    for (name, backend) in backends() {
+        let sums = backend.col_sums(&a);
+        for (r, s) in ref_sums.iter().zip(&sums) {
+            assert!((r - s).abs() < 1e-3, "col_sums {name}: {r} vs {s}");
+        }
+        assert!((Naive.sum(&a) - backend.sum(&a)).abs() < 1e-2, "sum {name}");
+    }
+}
+
+#[test]
+fn parallel_results_are_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = random_tensor(257, 65, &mut rng); // odd sizes straddle blocks
+    let b = random_tensor(65, 90, &mut rng);
+    let one = Parallel::with_threads(1);
+    for threads in [2, 3, 4, 8] {
+        let many = Parallel::with_threads(threads);
+        assert_eq!(
+            one.matmul(&a, &b).data(),
+            many.matmul(&a, &b).data(),
+            "matmul drifted at {threads} threads"
+        );
+        assert_eq!(
+            one.col_sums(&a),
+            many.col_sums(&a),
+            "col_sums drifted at {threads} threads"
+        );
+        assert_eq!(
+            one.sum(&a).to_bits(),
+            many.sum(&a).to_bits(),
+            "sum drifted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn gradcheck_passes_through_every_backend() {
+    for (name, backend) in backends() {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Tensor::xavier(3, 4, 1));
+        let b1 = store.add("b1", Tensor::xavier(1, 4, 2));
+        let w2 = store.add("w2", Tensor::xavier(4, 2, 3));
+        let err = max_gradient_error_with_backend(backend, &mut store, &[w1, b1, w2], |g, s| {
+            let x = g.input(Tensor::xavier(5, 3, 9));
+            let w1v = g.param(w1, s);
+            let b1v = g.param(b1, s);
+            let w2v = g.param(w2, s);
+            let h = g.matmul(x, w1v);
+            let h = g.add_row(h, b1v);
+            let h = g.gelu(h);
+            let o = g.matmul(h, w2v);
+            let o = g.tanh(o);
+            g.smooth_l1(o, Tensor::xavier(5, 2, 11))
+        });
+        assert!(err < 2e-2, "gradcheck through {name}: max error {err}");
+    }
+}
+
+#[test]
+fn graphs_on_different_backends_produce_matching_losses() {
+    let mut store = ParamStore::new();
+    let w = store.add("w", Tensor::xavier(6, 6, 17));
+    let mut losses = Vec::new();
+    for (name, backend) in backends() {
+        let mut g = moss_tensor::Graph::with_backend(backend);
+        let x = g.input(Tensor::xavier(8, 6, 23));
+        let wv = g.param(w, &store);
+        let h = g.matmul(x, wv);
+        let h = g.relu(h);
+        let m = g.mean_rows(h);
+        let loss = g.sum_all(m);
+        losses.push((name, g.value(loss).get(0, 0)));
+    }
+    let (_, reference) = losses[0];
+    for (name, l) in &losses[1..] {
+        assert!((l - reference).abs() < 1e-4, "{name}: {l} vs {reference}");
+    }
+}

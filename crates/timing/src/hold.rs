@@ -107,8 +107,12 @@ mod tests {
         let r = HoldReport::analyze(&nl, &lib, 10.0).unwrap();
         // ff2's D is driven straight from ff1's Q: min arrival = clk-to-q.
         let ff2 = nl.find("ff2").unwrap();
-        let (d, at, slack) =
-            r.endpoints.iter().find(|&&(d, _, _)| d == ff2).copied().unwrap();
+        let (d, at, slack) = r
+            .endpoints
+            .iter()
+            .find(|&&(d, _, _)| d == ff2)
+            .copied()
+            .unwrap();
         assert_eq!(d, ff2);
         assert!(at >= lib.dff_clk_to_q_ps(), "at {at}");
         assert!(slack > 0.0, "clk-to-q alone satisfies a 10 ps hold");

@@ -38,10 +38,7 @@ impl SlackReport {
 
     /// Total negative slack (sum of negative endpoint slacks).
     pub fn total_negative_slack_ps(&self) -> f64 {
-        self.endpoints
-            .iter()
-            .map(|&(_, _, s)| s.min(0.0))
-            .sum()
+        self.endpoints.iter().map(|&(_, _, s)| s.min(0.0)).sum()
     }
 
     /// Number of violated (negative-slack) endpoints.

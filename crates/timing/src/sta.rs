@@ -64,8 +64,7 @@ impl TimingReport {
                 .iter()
                 .map(|&f| arrival_ps[f.index()])
                 .fold(0.0f64, f64::max);
-            arrival_ps[id.index()] =
-                input_arrival + lib.delay_ps(kind, load_ff[id.index()]);
+            arrival_ps[id.index()] = input_arrival + lib.delay_ps(kind, load_ff[id.index()]);
         }
         for id in netlist.primary_outputs() {
             arrival_ps[id.index()] = arrival_ps[netlist.fanins(id)[0].index()];
@@ -137,8 +136,7 @@ impl TimingReport {
                 })
                 .expect("nonempty fanins");
             nodes.push(worst);
-            if matches!(netlist.kind(worst), NodeKind::PrimaryInput)
-                || netlist.kind(worst).is_dff()
+            if matches!(netlist.kind(worst), NodeKind::PrimaryInput) || netlist.kind(worst).is_dff()
             {
                 break;
             }

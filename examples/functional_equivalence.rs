@@ -22,7 +22,10 @@ fn main() {
         .map(|s| random_module(0xa11 + s, SizeClass::Small))
         .collect();
     let train_samples = build_samples(&world, &train_modules);
-    println!("training full MOSS with alignment on {} designs…", train_samples.len());
+    println!(
+        "training full MOSS with alignment on {} designs…",
+        train_samples.len()
+    );
     let run = train_variant(&world, MossVariant::Full, &train_samples);
 
     // …then shuffle the *training* pairs and recover the pairing.
@@ -62,7 +65,10 @@ fn main() {
     }
     println!();
     for (i, r) in rtl_c.iter().enumerate() {
-        print!("{:>12}", &run.preps[i].name[..run.preps[i].name.len().min(11)]);
+        print!(
+            "{:>12}",
+            &run.preps[i].name[..run.preps[i].name.len().min(11)]
+        );
         for n in &net_c {
             print!("{:>10.3}", metrics::cosine(r, n));
         }
@@ -70,12 +76,13 @@ fn main() {
     }
 
     let acc = metrics::fep_accuracy(&rtl_embs, &net_embs) * 100.0;
-    println!("\ntop-1 retrieval accuracy: {acc:.1} % (chance = {:.1} %)", 100.0 / rtl_embs.len() as f64);
+    println!(
+        "\ntop-1 retrieval accuracy: {acc:.1} % (chance = {:.1} %)",
+        100.0 / rtl_embs.len() as f64
+    );
 
     // RNM matching scores confirm the diagonal.
-    let s_match = run
-        .model
-        .rnm_score(&run.store, &rtl_embs[0], &net_embs[0]);
+    let s_match = run.model.rnm_score(&run.store, &rtl_embs[0], &net_embs[0]);
     let s_mismatch = run
         .model
         .rnm_score(&run.store, &rtl_embs[0], &net_embs[1 % net_embs.len()]);

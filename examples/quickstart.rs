@@ -7,8 +7,7 @@
 //! Run with: `cargo run -p moss-bench --example quickstart --release`
 
 use moss::{
-    metrics, CircuitSample, MossConfig, MossModel, MossVariant, SampleOptions, TrainConfig,
-    Trainer,
+    metrics, CircuitSample, MossConfig, MossModel, MossVariant, SampleOptions, TrainConfig, Trainer,
 };
 use moss_llm::{EncoderConfig, TextEncoder};
 use moss_netlist::{CellLibrary, NetlistStats};
@@ -27,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let lib = CellLibrary::default();
     let sample = CircuitSample::build(&module, &lib, &SampleOptions::default())?;
-    println!("synthesized '{}': {}", sample.name, NetlistStats::of(&sample.netlist));
+    println!(
+        "synthesized '{}': {}",
+        sample.name,
+        NetlistStats::of(&sample.netlist)
+    );
 
     // 2. Ground truth came along for free.
     println!(

@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run -p moss-bench --example timing_closure --release`
 
-use moss::{CircuitSample, MossConfig, MossModel, MossVariant, SampleOptions, TrainConfig, Trainer};
+use moss::{
+    CircuitSample, MossConfig, MossModel, MossVariant, SampleOptions, TrainConfig, Trainer,
+};
 use moss_llm::{EncoderConfig, TextEncoder};
 use moss_netlist::CellLibrary;
 use moss_synth::SynthOptions;
@@ -77,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // signoff engineer would read it.
     let sta0 = TimingReport::analyze(&samples[0].netlist, &lib)?;
     let slack = SlackReport::against(&sta0, 2_000.0, 30.0);
-    println!("\nvariant 0 endpoint report @ 2 ns:\n{}", slack.render(&samples[0].netlist, 5));
+    println!(
+        "\nvariant 0 endpoint report @ 2 ns:\n{}",
+        slack.render(&samples[0].netlist, 5)
+    );
 
     // Does the predicted ranking agree with STA's?
     let mut by_pred = ranked.clone();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-86107b0d6003376d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-86107b0d6003376d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

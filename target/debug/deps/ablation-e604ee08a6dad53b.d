@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e604ee08a6dad53b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-e604ee08a6dad53b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d69ad3fbe9dbc450.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d69ad3fbe9dbc450: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_equivalence-5d43e00f39695762.d: crates/tensor/tests/backend_equivalence.rs
+
+/root/repo/target/debug/deps/backend_equivalence-5d43e00f39695762: crates/tensor/tests/backend_equivalence.rs
+
+crates/tensor/tests/backend_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_equivalence-d8040db17083f210.d: crates/tensor/tests/backend_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_equivalence-d8040db17083f210.rmeta: crates/tensor/tests/backend_equivalence.rs Cargo.toml
+
+crates/tensor/tests/backend_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

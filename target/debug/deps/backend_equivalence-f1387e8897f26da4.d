@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_equivalence-f1387e8897f26da4.d: crates/tensor/tests/backend_equivalence.rs
+
+/root/repo/target/debug/deps/backend_equivalence-f1387e8897f26da4: crates/tensor/tests/backend_equivalence.rs
+
+crates/tensor/tests/backend_equivalence.rs:

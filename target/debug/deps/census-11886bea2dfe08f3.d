@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/census-11886bea2dfe08f3.d: crates/bench/src/bin/census.rs
+
+/root/repo/target/debug/deps/census-11886bea2dfe08f3: crates/bench/src/bin/census.rs
+
+crates/bench/src/bin/census.rs:

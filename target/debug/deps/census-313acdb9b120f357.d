@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/census-313acdb9b120f357.d: crates/bench/src/bin/census.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcensus-313acdb9b120f357.rmeta: crates/bench/src/bin/census.rs Cargo.toml
+
+crates/bench/src/bin/census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

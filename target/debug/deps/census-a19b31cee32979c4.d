@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/census-a19b31cee32979c4.d: crates/bench/src/bin/census.rs
+
+/root/repo/target/debug/deps/census-a19b31cee32979c4: crates/bench/src/bin/census.rs
+
+crates/bench/src/bin/census.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/census-e57c538d8c9a88db.d: crates/bench/src/bin/census.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcensus-e57c538d8c9a88db.rmeta: crates/bench/src/bin/census.rs Cargo.toml
+
+crates/bench/src/bin/census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_properties-a9140592ccef4585.d: crates/bench/../../tests/equivalence_properties.rs
+
+/root/repo/target/debug/deps/equivalence_properties-a9140592ccef4585: crates/bench/../../tests/equivalence_properties.rs
+
+crates/bench/../../tests/equivalence_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_properties-bb2abe0bbb897e1d.d: crates/bench/../../tests/equivalence_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_properties-bb2abe0bbb897e1d.rmeta: crates/bench/../../tests/equivalence_properties.rs Cargo.toml
+
+crates/bench/../../tests/equivalence_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1a-93e77aae84e96bfb.d: crates/bench/src/bin/fig1a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1a-93e77aae84e96bfb.rmeta: crates/bench/src/bin/fig1a.rs Cargo.toml
+
+crates/bench/src/bin/fig1a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1a-e7da75ac0967c086.d: crates/bench/src/bin/fig1a.rs
+
+/root/repo/target/debug/deps/fig1a-e7da75ac0967c086: crates/bench/src/bin/fig1a.rs
+
+crates/bench/src/bin/fig1a.rs:

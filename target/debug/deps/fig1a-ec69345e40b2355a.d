@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1a-ec69345e40b2355a.d: crates/bench/src/bin/fig1a.rs
+
+/root/repo/target/debug/deps/fig1a-ec69345e40b2355a: crates/bench/src/bin/fig1a.rs
+
+crates/bench/src/bin/fig1a.rs:

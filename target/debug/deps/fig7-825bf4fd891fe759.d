@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-825bf4fd891fe759.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-825bf4fd891fe759: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

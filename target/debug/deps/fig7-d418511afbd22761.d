@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d418511afbd22761.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d418511afbd22761: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

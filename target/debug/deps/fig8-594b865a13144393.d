@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-594b865a13144393.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-594b865a13144393: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

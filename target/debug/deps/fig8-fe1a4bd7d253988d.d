@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-fe1a4bd7d253988d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-fe1a4bd7d253988d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

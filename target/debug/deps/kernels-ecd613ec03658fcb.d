@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kernels-ecd613ec03658fcb.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-ecd613ec03658fcb: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

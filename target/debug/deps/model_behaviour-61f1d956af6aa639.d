@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_behaviour-61f1d956af6aa639.d: crates/bench/../../tests/model_behaviour.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_behaviour-61f1d956af6aa639.rmeta: crates/bench/../../tests/model_behaviour.rs Cargo.toml
+
+crates/bench/../../tests/model_behaviour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_behaviour-f88982da659519d7.d: crates/bench/../../tests/model_behaviour.rs
+
+/root/repo/target/debug/deps/model_behaviour-f88982da659519d7: crates/bench/../../tests/model_behaviour.rs
+
+crates/bench/../../tests/model_behaviour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/models-4993d4928c7ef8af.d: crates/bench/benches/models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels-4993d4928c7ef8af.rmeta: crates/bench/benches/models.rs Cargo.toml
+
+crates/bench/benches/models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

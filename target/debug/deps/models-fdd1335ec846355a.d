@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models-fdd1335ec846355a.d: crates/bench/benches/models.rs
+
+/root/repo/target/debug/deps/models-fdd1335ec846355a: crates/bench/benches/models.rs
+
+crates/bench/benches/models.rs:

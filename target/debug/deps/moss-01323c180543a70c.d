@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/moss-01323c180543a70c.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/moss-01323c180543a70c: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/deepseq2.rs:
+crates/core/src/features.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/sample.rs:
+crates/core/src/trainer.rs:

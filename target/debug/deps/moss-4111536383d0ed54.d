@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/moss-4111536383d0ed54.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/libmoss-4111536383d0ed54.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/libmoss-4111536383d0ed54.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/deepseq2.rs:
+crates/core/src/features.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/sample.rs:
+crates/core/src/trainer.rs:

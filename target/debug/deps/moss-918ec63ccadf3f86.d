@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/moss-918ec63ccadf3f86.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss-918ec63ccadf3f86.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/deepseq2.rs:
+crates/core/src/features.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/sample.rs:
+crates/core/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

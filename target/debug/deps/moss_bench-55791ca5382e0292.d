@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/moss_bench-55791ca5382e0292.d: crates/bench/src/lib.rs crates/bench/src/pipeline.rs
+
+/root/repo/target/debug/deps/moss_bench-55791ca5382e0292: crates/bench/src/lib.rs crates/bench/src/pipeline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/moss_bench-59f171f630ca5194.d: crates/bench/src/lib.rs crates/bench/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_bench-59f171f630ca5194.rmeta: crates/bench/src/lib.rs crates/bench/src/pipeline.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/moss_bench-7f8d2044455bede6.d: crates/bench/src/lib.rs crates/bench/src/pipeline.rs
+
+/root/repo/target/debug/deps/libmoss_bench-7f8d2044455bede6.rlib: crates/bench/src/lib.rs crates/bench/src/pipeline.rs
+
+/root/repo/target/debug/deps/libmoss_bench-7f8d2044455bede6.rmeta: crates/bench/src/lib.rs crates/bench/src/pipeline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/pipeline.rs:

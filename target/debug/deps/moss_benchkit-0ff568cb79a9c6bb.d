@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/moss_benchkit-0ff568cb79a9c6bb.d: crates/benchkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_benchkit-0ff568cb79a9c6bb.rmeta: crates/benchkit/src/lib.rs Cargo.toml
+
+crates/benchkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moss_benchkit-2a1477ee65fa7ad6.d: crates/benchkit/src/lib.rs
+
+/root/repo/target/debug/deps/libmoss_benchkit-2a1477ee65fa7ad6.rlib: crates/benchkit/src/lib.rs
+
+/root/repo/target/debug/deps/libmoss_benchkit-2a1477ee65fa7ad6.rmeta: crates/benchkit/src/lib.rs
+
+crates/benchkit/src/lib.rs:

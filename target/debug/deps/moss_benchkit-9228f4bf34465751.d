@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moss_benchkit-9228f4bf34465751.d: crates/benchkit/src/lib.rs
+
+/root/repo/target/debug/deps/moss_benchkit-9228f4bf34465751: crates/benchkit/src/lib.rs
+
+crates/benchkit/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/moss_datagen-0fdc27c39f94249c.d: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs
+
+/root/repo/target/debug/deps/moss_datagen-0fdc27c39f94249c: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/benchmarks.rs:
+crates/datagen/src/corpus.rs:
+crates/datagen/src/expr.rs:
+crates/datagen/src/extras.rs:
+crates/datagen/src/random.rs:

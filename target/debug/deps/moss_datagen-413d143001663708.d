@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/moss_datagen-413d143001663708.d: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs
+
+/root/repo/target/debug/deps/libmoss_datagen-413d143001663708.rlib: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs
+
+/root/repo/target/debug/deps/libmoss_datagen-413d143001663708.rmeta: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/benchmarks.rs:
+crates/datagen/src/corpus.rs:
+crates/datagen/src/expr.rs:
+crates/datagen/src/extras.rs:
+crates/datagen/src/random.rs:

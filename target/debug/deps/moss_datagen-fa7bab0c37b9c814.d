@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/moss_datagen-fa7bab0c37b9c814.d: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_datagen-fa7bab0c37b9c814.rmeta: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/benchmarks.rs:
+crates/datagen/src/corpus.rs:
+crates/datagen/src/expr.rs:
+crates/datagen/src/extras.rs:
+crates/datagen/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/moss_gnn-09feaaf2d40539c4.d: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_gnn-09feaaf2d40539c4.rmeta: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs Cargo.toml
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/circuit.rs:
+crates/gnn/src/clustering.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/state_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/moss_gnn-12332b9d89af8259.d: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs
+
+/root/repo/target/debug/deps/moss_gnn-12332b9d89af8259: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/circuit.rs:
+crates/gnn/src/clustering.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/state_table.rs:

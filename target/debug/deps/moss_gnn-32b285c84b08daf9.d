@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/moss_gnn-32b285c84b08daf9.d: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs
+
+/root/repo/target/debug/deps/libmoss_gnn-32b285c84b08daf9.rlib: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs
+
+/root/repo/target/debug/deps/libmoss_gnn-32b285c84b08daf9.rmeta: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/circuit.rs:
+crates/gnn/src/clustering.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/state_table.rs:

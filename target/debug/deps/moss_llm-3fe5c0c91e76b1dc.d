@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/moss_llm-3fe5c0c91e76b1dc.d: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_llm-3fe5c0c91e76b1dc.rmeta: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs Cargo.toml
+
+crates/llm/src/lib.rs:
+crates/llm/src/encoder.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/tokenizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

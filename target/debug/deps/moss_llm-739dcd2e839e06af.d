@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/moss_llm-739dcd2e839e06af.d: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_llm-739dcd2e839e06af.rmeta: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs Cargo.toml
+
+crates/llm/src/lib.rs:
+crates/llm/src/encoder.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/tokenizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/moss_llm-795e47a029aacbb5.d: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libmoss_llm-795e47a029aacbb5.rlib: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libmoss_llm-795e47a029aacbb5.rmeta: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs
+
+crates/llm/src/lib.rs:
+crates/llm/src/encoder.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/tokenizer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/moss_llm-ef297309ea887aa7.d: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs
+
+/root/repo/target/debug/deps/moss_llm-ef297309ea887aa7: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs
+
+crates/llm/src/lib.rs:
+crates/llm/src/encoder.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/tokenizer.rs:

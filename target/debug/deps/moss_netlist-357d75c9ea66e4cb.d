@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/moss_netlist-357d75c9ea66e4cb.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/moss_netlist-357d75c9ea66e4cb: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/level.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:

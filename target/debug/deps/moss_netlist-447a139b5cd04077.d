@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/moss_netlist-447a139b5cd04077.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libmoss_netlist-447a139b5cd04077.rlib: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libmoss_netlist-447a139b5cd04077.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/level.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/moss_netlist-e2e6ded7f5466cf2.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_netlist-e2e6ded7f5466cf2.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/level.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/moss_power-25a4fbc5eb9d07e2.d: crates/power/src/lib.rs crates/power/src/power.rs
+
+/root/repo/target/debug/deps/libmoss_power-25a4fbc5eb9d07e2.rlib: crates/power/src/lib.rs crates/power/src/power.rs
+
+/root/repo/target/debug/deps/libmoss_power-25a4fbc5eb9d07e2.rmeta: crates/power/src/lib.rs crates/power/src/power.rs
+
+crates/power/src/lib.rs:
+crates/power/src/power.rs:

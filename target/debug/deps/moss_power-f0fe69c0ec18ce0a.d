@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/moss_power-f0fe69c0ec18ce0a.d: crates/power/src/lib.rs crates/power/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_power-f0fe69c0ec18ce0a.rmeta: crates/power/src/lib.rs crates/power/src/power.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/moss_power-f444092b71809850.d: crates/power/src/lib.rs crates/power/src/power.rs
+
+/root/repo/target/debug/deps/moss_power-f444092b71809850: crates/power/src/lib.rs crates/power/src/power.rs
+
+crates/power/src/lib.rs:
+crates/power/src/power.rs:

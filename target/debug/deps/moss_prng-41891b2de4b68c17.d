@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moss_prng-41891b2de4b68c17.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/moss_prng-41891b2de4b68c17: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/moss_prng-4e892013493e8f68.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_prng-4e892013493e8f68.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moss_prng-859f8fd4e8a697c4.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libmoss_prng-859f8fd4e8a697c4.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libmoss_prng-859f8fd4e8a697c4.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

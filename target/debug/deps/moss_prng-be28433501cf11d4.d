@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/moss_prng-be28433501cf11d4.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_prng-be28433501cf11d4.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/moss_rtl-740bb3c8148b6c87.d: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_rtl-740bb3c8148b6c87.rmeta: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/ast.rs:
+crates/rtl/src/describe.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lexer.rs:
+crates/rtl/src/optimize.rs:
+crates/rtl/src/parser.rs:
+crates/rtl/src/printer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/moss_rtl-a8bb34b59ce595f0.d: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs
+
+/root/repo/target/debug/deps/libmoss_rtl-a8bb34b59ce595f0.rlib: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs
+
+/root/repo/target/debug/deps/libmoss_rtl-a8bb34b59ce595f0.rmeta: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/ast.rs:
+crates/rtl/src/describe.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lexer.rs:
+crates/rtl/src/optimize.rs:
+crates/rtl/src/parser.rs:
+crates/rtl/src/printer.rs:

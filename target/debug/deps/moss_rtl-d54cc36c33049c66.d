@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/moss_rtl-d54cc36c33049c66.d: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs
+
+/root/repo/target/debug/deps/moss_rtl-d54cc36c33049c66: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/ast.rs:
+crates/rtl/src/describe.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lexer.rs:
+crates/rtl/src/optimize.rs:
+crates/rtl/src/parser.rs:
+crates/rtl/src/printer.rs:

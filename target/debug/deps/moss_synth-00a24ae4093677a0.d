@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/moss_synth-00a24ae4093677a0.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_synth-00a24ae4093677a0.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/error.rs:
+crates/synth/src/lower.rs:
+crates/synth/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/moss_synth-aa3ba9e3c37bcded.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs
+
+/root/repo/target/debug/deps/moss_synth-aa3ba9e3c37bcded: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/error.rs:
+crates/synth/src/lower.rs:
+crates/synth/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/moss_synth-f87e65ea0a1f130a.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs
+
+/root/repo/target/debug/deps/libmoss_synth-f87e65ea0a1f130a.rlib: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs
+
+/root/repo/target/debug/deps/libmoss_synth-f87e65ea0a1f130a.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/error.rs:
+crates/synth/src/lower.rs:
+crates/synth/src/synth.rs:

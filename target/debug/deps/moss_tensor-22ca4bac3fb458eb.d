@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/moss_tensor-22ca4bac3fb458eb.d: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_tensor-22ca4bac3fb458eb.rmeta: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/backend.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/params.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

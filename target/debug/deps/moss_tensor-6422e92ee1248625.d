@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/moss_tensor-6422e92ee1248625.d: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libmoss_tensor-6422e92ee1248625.rlib: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libmoss_tensor-6422e92ee1248625.rmeta: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/backend.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/params.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/moss_tensor-cd88c62598108ac6.d: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/moss_tensor-cd88c62598108ac6: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/backend.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/params.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/tensor.rs:

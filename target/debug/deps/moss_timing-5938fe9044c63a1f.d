@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/moss_timing-5938fe9044c63a1f.d: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoss_timing-5938fe9044c63a1f.rmeta: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/hold.rs:
+crates/timing/src/slack.rs:
+crates/timing/src/sta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/moss_timing-be04b221291a0e7f.d: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs
+
+/root/repo/target/debug/deps/moss_timing-be04b221291a0e7f: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/hold.rs:
+crates/timing/src/slack.rs:
+crates/timing/src/sta.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/moss_timing-f85da68a24ccf730.d: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs
+
+/root/repo/target/debug/deps/libmoss_timing-f85da68a24ccf730.rlib: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs
+
+/root/repo/target/debug/deps/libmoss_timing-f85da68a24ccf730.rmeta: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/hold.rs:
+crates/timing/src/slack.rs:
+crates/timing/src/sta.rs:

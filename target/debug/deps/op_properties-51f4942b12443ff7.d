@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/op_properties-51f4942b12443ff7.d: crates/tensor/tests/op_properties.rs
+
+/root/repo/target/debug/deps/op_properties-51f4942b12443ff7: crates/tensor/tests/op_properties.rs
+
+crates/tensor/tests/op_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/op_properties-dee5ef9f489d36bc.d: crates/tensor/tests/op_properties.rs
+
+/root/repo/target/debug/deps/op_properties-dee5ef9f489d36bc: crates/tensor/tests/op_properties.rs
+
+crates/tensor/tests/op_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_integration-dcf32626a1d76393.d: crates/bench/../../tests/pipeline_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_integration-dcf32626a1d76393.rmeta: crates/bench/../../tests/pipeline_integration.rs Cargo.toml
+
+crates/bench/../../tests/pipeline_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-ee9669f96c2e83cc.d: crates/bench/../../tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-ee9669f96c2e83cc: crates/bench/../../tests/pipeline_integration.rs
+
+crates/bench/../../tests/pipeline_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-966b64e5ec027448.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-966b64e5ec027448: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

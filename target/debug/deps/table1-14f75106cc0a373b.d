@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-14f75106cc0a373b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-14f75106cc0a373b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

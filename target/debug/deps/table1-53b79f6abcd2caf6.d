@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-53b79f6abcd2caf6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-53b79f6abcd2caf6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

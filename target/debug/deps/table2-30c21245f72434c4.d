@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-30c21245f72434c4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-30c21245f72434c4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7083e27b47eea9af.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-7083e27b47eea9af: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtask-00a676936be3ea3d.d: xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-00a676936be3ea3d.rmeta: xtask/src/main.rs Cargo.toml
+
+xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

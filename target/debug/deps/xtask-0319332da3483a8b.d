@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-0319332da3483a8b.d: xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-0319332da3483a8b: xtask/src/main.rs
+
+xtask/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-54450d6bf96ad32d.d: xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-54450d6bf96ad32d: xtask/src/main.rs
+
+xtask/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtask-899090500c87c63c.d: xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-899090500c87c63c.rmeta: xtask/src/main.rs Cargo.toml
+
+xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

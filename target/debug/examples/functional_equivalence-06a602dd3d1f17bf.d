@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/functional_equivalence-06a602dd3d1f17bf.d: crates/bench/../../examples/functional_equivalence.rs
+
+/root/repo/target/debug/examples/functional_equivalence-06a602dd3d1f17bf: crates/bench/../../examples/functional_equivalence.rs
+
+crates/bench/../../examples/functional_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/functional_equivalence-790d3ba53197ab4f.d: crates/bench/../../examples/functional_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfunctional_equivalence-790d3ba53197ab4f.rmeta: crates/bench/../../examples/functional_equivalence.rs Cargo.toml
+
+crates/bench/../../examples/functional_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

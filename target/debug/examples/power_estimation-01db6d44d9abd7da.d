@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_estimation-01db6d44d9abd7da.d: crates/bench/../../examples/power_estimation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_estimation-01db6d44d9abd7da.rmeta: crates/bench/../../examples/power_estimation.rs Cargo.toml
+
+crates/bench/../../examples/power_estimation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_estimation-3c497e41027bfb50.d: crates/bench/../../examples/power_estimation.rs
+
+/root/repo/target/debug/examples/power_estimation-3c497e41027bfb50: crates/bench/../../examples/power_estimation.rs
+
+crates/bench/../../examples/power_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a4634bf81584dd7c.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a4634bf81584dd7c: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

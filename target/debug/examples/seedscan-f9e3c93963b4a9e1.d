@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seedscan-f9e3c93963b4a9e1.d: crates/datagen/examples/seedscan.rs
+
+/root/repo/target/debug/examples/seedscan-f9e3c93963b4a9e1: crates/datagen/examples/seedscan.rs
+
+crates/datagen/examples/seedscan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timing_closure-a66ccd941c5e1ede.d: crates/bench/../../examples/timing_closure.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtiming_closure-a66ccd941c5e1ede.rmeta: crates/bench/../../examples/timing_closure.rs Cargo.toml
+
+crates/bench/../../examples/timing_closure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

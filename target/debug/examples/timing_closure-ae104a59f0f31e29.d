@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timing_closure-ae104a59f0f31e29.d: crates/bench/../../examples/timing_closure.rs
+
+/root/repo/target/debug/examples/timing_closure-ae104a59f0f31e29: crates/bench/../../examples/timing_closure.rs
+
+crates/bench/../../examples/timing_closure.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmoss_benchkit.rlib: /root/repo/crates/benchkit/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmoss_prng.rlib: /root/repo/crates/prng/src/lib.rs

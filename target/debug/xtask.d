@@ -1,0 +1,1 @@
+/root/repo/target/debug/xtask: /root/repo/xtask/src/main.rs

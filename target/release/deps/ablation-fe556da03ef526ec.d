@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-fe556da03ef526ec.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-fe556da03ef526ec: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

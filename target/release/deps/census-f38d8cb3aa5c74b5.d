@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/census-f38d8cb3aa5c74b5.d: crates/bench/src/bin/census.rs
+
+/root/repo/target/release/deps/census-f38d8cb3aa5c74b5: crates/bench/src/bin/census.rs
+
+crates/bench/src/bin/census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1a-2299b732845d366d.d: crates/bench/src/bin/fig1a.rs
+
+/root/repo/target/release/deps/fig1a-2299b732845d366d: crates/bench/src/bin/fig1a.rs
+
+crates/bench/src/bin/fig1a.rs:

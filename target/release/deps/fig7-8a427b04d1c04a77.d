@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-8a427b04d1c04a77.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-8a427b04d1c04a77: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-5271483760564591.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-5271483760564591: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kernels-679faa8597b7dcfe.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-679faa8597b7dcfe: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/moss-a1ceadb2ce626f78.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libmoss-a1ceadb2ce626f78.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libmoss-a1ceadb2ce626f78.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/deepseq2.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/sample.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/deepseq2.rs:
+crates/core/src/features.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/sample.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/moss_bench-053a95e46334282a.d: crates/bench/src/lib.rs crates/bench/src/pipeline.rs
+
+/root/repo/target/release/deps/libmoss_bench-053a95e46334282a.rlib: crates/bench/src/lib.rs crates/bench/src/pipeline.rs
+
+/root/repo/target/release/deps/libmoss_bench-053a95e46334282a.rmeta: crates/bench/src/lib.rs crates/bench/src/pipeline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moss_benchkit-5cd82caee6132fef.d: crates/benchkit/src/lib.rs
+
+/root/repo/target/release/deps/libmoss_benchkit-5cd82caee6132fef.rlib: crates/benchkit/src/lib.rs
+
+/root/repo/target/release/deps/libmoss_benchkit-5cd82caee6132fef.rmeta: crates/benchkit/src/lib.rs
+
+crates/benchkit/src/lib.rs:

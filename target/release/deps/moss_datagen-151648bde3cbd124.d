@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/moss_datagen-151648bde3cbd124.d: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs
+
+/root/repo/target/release/deps/libmoss_datagen-151648bde3cbd124.rlib: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs
+
+/root/repo/target/release/deps/libmoss_datagen-151648bde3cbd124.rmeta: crates/datagen/src/lib.rs crates/datagen/src/benchmarks.rs crates/datagen/src/corpus.rs crates/datagen/src/expr.rs crates/datagen/src/extras.rs crates/datagen/src/random.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/benchmarks.rs:
+crates/datagen/src/corpus.rs:
+crates/datagen/src/expr.rs:
+crates/datagen/src/extras.rs:
+crates/datagen/src/random.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/moss_gnn-2440cf9db26e5ecf.d: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs
+
+/root/repo/target/release/deps/libmoss_gnn-2440cf9db26e5ecf.rlib: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs
+
+/root/repo/target/release/deps/libmoss_gnn-2440cf9db26e5ecf.rmeta: crates/gnn/src/lib.rs crates/gnn/src/circuit.rs crates/gnn/src/clustering.rs crates/gnn/src/model.rs crates/gnn/src/state_table.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/circuit.rs:
+crates/gnn/src/clustering.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/state_table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/moss_llm-4111b3b6ab2b4ec3.d: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs
+
+/root/repo/target/release/deps/libmoss_llm-4111b3b6ab2b4ec3.rlib: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs
+
+/root/repo/target/release/deps/libmoss_llm-4111b3b6ab2b4ec3.rmeta: crates/llm/src/lib.rs crates/llm/src/encoder.rs crates/llm/src/finetune.rs crates/llm/src/tokenizer.rs
+
+crates/llm/src/lib.rs:
+crates/llm/src/encoder.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/tokenizer.rs:

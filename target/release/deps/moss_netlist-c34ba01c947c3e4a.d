@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/moss_netlist-c34ba01c947c3e4a.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/release/deps/libmoss_netlist-c34ba01c947c3e4a.rlib: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/release/deps/libmoss_netlist-c34ba01c947c3e4a.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/level.rs crates/netlist/src/library.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/level.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/moss_power-150edec5f10ab926.d: crates/power/src/lib.rs crates/power/src/power.rs
+
+/root/repo/target/release/deps/libmoss_power-150edec5f10ab926.rlib: crates/power/src/lib.rs crates/power/src/power.rs
+
+/root/repo/target/release/deps/libmoss_power-150edec5f10ab926.rmeta: crates/power/src/lib.rs crates/power/src/power.rs
+
+crates/power/src/lib.rs:
+crates/power/src/power.rs:

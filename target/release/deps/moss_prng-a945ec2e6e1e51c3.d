@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moss_prng-a945ec2e6e1e51c3.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libmoss_prng-a945ec2e6e1e51c3.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libmoss_prng-a945ec2e6e1e51c3.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

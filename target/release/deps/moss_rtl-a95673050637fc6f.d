@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/moss_rtl-a95673050637fc6f.d: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs
+
+/root/repo/target/release/deps/libmoss_rtl-a95673050637fc6f.rlib: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs
+
+/root/repo/target/release/deps/libmoss_rtl-a95673050637fc6f.rmeta: crates/rtl/src/lib.rs crates/rtl/src/ast.rs crates/rtl/src/describe.rs crates/rtl/src/error.rs crates/rtl/src/interp.rs crates/rtl/src/lexer.rs crates/rtl/src/optimize.rs crates/rtl/src/parser.rs crates/rtl/src/printer.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/ast.rs:
+crates/rtl/src/describe.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lexer.rs:
+crates/rtl/src/optimize.rs:
+crates/rtl/src/parser.rs:
+crates/rtl/src/printer.rs:

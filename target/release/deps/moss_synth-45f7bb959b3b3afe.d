@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/moss_synth-45f7bb959b3b3afe.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs
+
+/root/repo/target/release/deps/libmoss_synth-45f7bb959b3b3afe.rlib: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs
+
+/root/repo/target/release/deps/libmoss_synth-45f7bb959b3b3afe.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/builder.rs crates/synth/src/error.rs crates/synth/src/lower.rs crates/synth/src/synth.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/error.rs:
+crates/synth/src/lower.rs:
+crates/synth/src/synth.rs:

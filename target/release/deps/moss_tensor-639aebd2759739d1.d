@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/moss_tensor-639aebd2759739d1.d: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libmoss_tensor-639aebd2759739d1.rlib: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libmoss_tensor-639aebd2759739d1.rmeta: crates/tensor/src/lib.rs crates/tensor/src/backend.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/serialize.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/backend.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/params.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/tensor.rs:

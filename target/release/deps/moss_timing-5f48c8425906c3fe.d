@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/moss_timing-5f48c8425906c3fe.d: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs
+
+/root/repo/target/release/deps/libmoss_timing-5f48c8425906c3fe.rlib: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs
+
+/root/repo/target/release/deps/libmoss_timing-5f48c8425906c3fe.rmeta: crates/timing/src/lib.rs crates/timing/src/hold.rs crates/timing/src/slack.rs crates/timing/src/sta.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/hold.rs:
+crates/timing/src/slack.rs:
+crates/timing/src/sta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-92a8438399828cf5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-92a8438399828cf5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e1eaf6badb854ea3.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e1eaf6badb854ea3: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

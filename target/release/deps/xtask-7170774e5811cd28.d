@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xtask-7170774e5811cd28.d: xtask/src/main.rs
+
+/root/repo/target/release/deps/xtask-7170774e5811cd28: xtask/src/main.rs
+
+xtask/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-31f0dc3487c88931.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-31f0dc3487c88931: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

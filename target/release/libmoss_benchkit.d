@@ -1,0 +1,1 @@
+/root/repo/target/release/libmoss_benchkit.rlib: /root/repo/crates/benchkit/src/lib.rs

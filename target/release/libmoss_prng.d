@@ -1,0 +1,1 @@
+/root/repo/target/release/libmoss_prng.rlib: /root/repo/crates/prng/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/xtask: /root/repo/xtask/src/main.rs

@@ -4,10 +4,16 @@
 //! pipeline — if synthesis, the gate-level simulator and the RTL
 //! interpreter ever disagree, every label in the experiments is suspect.
 
+use moss_prng::rngs::StdRng;
+use moss_prng::{Rng, SeedableRng};
 use moss_rtl::{Interpreter, Module};
 use moss_sim::GateSim;
 use moss_synth::{lower_to_aig, synthesize, SynthOptions, SynthResult};
-use proptest::prelude::*;
+
+/// Cases per property. The former proptest config ran 12 random cases;
+/// these are now deterministic draws from a seeded generator (the
+/// workspace builds offline, so no proptest).
+const CASES: u64 = 12;
 
 /// Drives the RTL interpreter and the synthesized gate-level netlist with
 /// identical random stimulus and asserts bit-exact outputs every cycle.
@@ -130,20 +136,36 @@ fn aig_lowering_preserves_sequential_behaviour() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// The regression case recorded in
+/// `tests/equivalence_properties.proptest-regressions` (shrunk to
+/// `seed = 206, variant = 0` by the original proptest run): kept as an
+/// explicit test so the historical failure stays pinned.
+#[test]
+fn regression_seed_206_variant_0_synthesizes_equivalently() {
+    let module = moss_datagen::random_module(206, moss_datagen::SizeClass::Small);
+    let synth = synthesize(&module, &SynthOptions::variant(0)).expect("synthesizes");
+    assert_equivalent(&module, &synth, 24, 206 ^ 0x5a5a);
+}
 
-    /// Any valid random design synthesizes to a bit-exact netlist.
-    #[test]
-    fn random_designs_synthesize_equivalently(seed in 0u64..5000, variant in 0u64..8) {
+/// Any valid random design synthesizes to a bit-exact netlist.
+#[test]
+fn random_designs_synthesize_equivalently() {
+    let mut rng = StdRng::seed_from_u64(0x51f7);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..5000);
+        let variant = rng.gen_range(0u64..8);
         let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
         let synth = synthesize(&module, &SynthOptions::variant(variant)).expect("synthesizes");
         assert_equivalent(&module, &synth, 24, seed ^ 0x5a5a);
     }
+}
 
-    /// Levelization of any synthesized netlist is a valid topological order.
-    #[test]
-    fn levelization_is_topological(seed in 0u64..5000) {
+/// Levelization of any synthesized netlist is a valid topological order.
+#[test]
+fn levelization_is_topological() {
+    let mut rng = StdRng::seed_from_u64(0x1e51);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..5000);
         let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
         let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
         let nl = &synth.netlist;
@@ -152,23 +174,27 @@ proptest! {
             if nl.kind(id).is_combinational_cell() {
                 for &f in nl.fanins(id) {
                     let flevel = if nl.kind(f).is_dff() { 0 } else { lv.level(f) };
-                    prop_assert!(flevel < lv.level(id), "fanin level must be lower");
+                    assert!(flevel < lv.level(id), "fanin level must be lower");
                 }
             }
         }
     }
+}
 
-    /// Structural-Verilog round trips preserve structure and behaviour
-    /// (netlist-vs-netlist: identical positional stimulus, identical
-    /// positional outputs; port names are escaped by the writer).
-    #[test]
-    fn verilog_round_trip_preserves_behaviour(seed in 0u64..3000) {
+/// Structural-Verilog round trips preserve structure and behaviour
+/// (netlist-vs-netlist: identical positional stimulus, identical
+/// positional outputs; port names are escaped by the writer).
+#[test]
+fn verilog_round_trip_preserves_behaviour() {
+    let mut rng = StdRng::seed_from_u64(0x0e21);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..3000);
         let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
         let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
         let text = moss_netlist::write_verilog(&synth.netlist);
         let parsed = moss_netlist::parse_verilog(&text).expect("parses back");
-        prop_assert_eq!(parsed.cell_count(), synth.netlist.cell_count());
-        prop_assert_eq!(parsed.dff_count(), synth.netlist.dff_count());
+        assert_eq!(parsed.cell_count(), synth.netlist.cell_count());
+        assert_eq!(parsed.dff_count(), synth.netlist.dff_count());
 
         let mut sim_a = GateSim::new(&synth.netlist).expect("valid");
         let mut sim_b = GateSim::new(&parsed).expect("valid");
@@ -178,7 +204,7 @@ proptest! {
         let ins_b = parsed.primary_inputs();
         let outs_a = synth.netlist.primary_outputs();
         let outs_b = parsed.primary_outputs();
-        prop_assert_eq!(outs_a.len(), outs_b.len());
+        assert_eq!(outs_a.len(), outs_b.len());
         let mut state = seed | 1;
         for cycle in 0..16u32 {
             for (i, &pa) in ins_a.iter().enumerate() {
@@ -192,21 +218,23 @@ proptest! {
             sim_a.step();
             sim_b.step();
             for (j, (&oa, &ob)) in outs_a.iter().zip(&outs_b).enumerate() {
-                prop_assert_eq!(
+                assert_eq!(
                     sim_a.value(oa),
                     sim_b.value(ob),
-                    "output {} diverged at cycle {}",
-                    j,
-                    cycle
+                    "output {j} diverged at cycle {cycle}"
                 );
             }
         }
     }
+}
 
-    /// The RTL optimizer preserves behaviour end-to-end: optimized RTL,
-    /// synthesized, matches the *original* interpreter bit-for-bit.
-    #[test]
-    fn rtl_optimizer_preserves_synthesized_behaviour(seed in 0u64..4000) {
+/// The RTL optimizer preserves behaviour end-to-end: optimized RTL,
+/// synthesized, matches the *original* interpreter bit-for-bit.
+#[test]
+fn rtl_optimizer_preserves_synthesized_behaviour() {
+    let mut rng = StdRng::seed_from_u64(0x0b70);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..4000);
         let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
         let (optimized, _) = moss_rtl::optimize(&module);
         let synth = synthesize(&optimized, &SynthOptions::default()).expect("synthesizes");
@@ -214,17 +242,21 @@ proptest! {
         // interpreter can be compared against the optimized netlist.
         assert_equivalent(&module, &synth, 20, seed ^ 0x0b7);
     }
+}
 
-    /// Toggle rates stay in [0, 1]: no node toggles more than once per cycle.
-    #[test]
-    fn toggle_rates_are_bounded(seed in 0u64..2000) {
+/// Toggle rates stay in [0, 1]: no node toggles more than once per cycle.
+#[test]
+fn toggle_rates_are_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x706c);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..2000);
         let module = moss_datagen::random_module(seed, moss_datagen::SizeClass::Small);
         let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
         let resets: Vec<_> = synth.dffs.iter().map(|b| (b.dff, b.reset)).collect();
         let report = moss_sim::toggle_rates(&synth.netlist, &resets, 64, seed).expect("simulates");
         for id in synth.netlist.node_ids() {
             let r = report.rate(id);
-            prop_assert!((0.0..=1.0).contains(&r), "rate {r} out of range");
+            assert!((0.0..=1.0).contains(&r), "rate {r} out of range");
         }
     }
 }

@@ -1,9 +1,7 @@
 //! Behavioural integration tests of the models: determinism, checkpoint
 //! round-trips, thread-safety bounds, and variant-specific gradient flow.
 
-use moss::{
-    CircuitSample, MossConfig, MossModel, MossVariant, Prepared, SampleOptions,
-};
+use moss::{CircuitSample, MossConfig, MossModel, MossVariant, Prepared, SampleOptions};
 use moss_llm::{EncoderConfig, TextEncoder};
 use moss_netlist::CellLibrary;
 use moss_tensor::{load_params, save_params, Graph, ParamStore};
@@ -77,7 +75,10 @@ fn adaptive_variant_clusters_within_budget_and_ablation_is_uniform() {
     assert!(prep_full.circuit.clusters.count >= 1);
     assert!(prep_full.circuit.clusters.count <= model.config().aggregators);
     let (_, _, _, prep_uniform) = setup(MossVariant::WithoutAdaptiveAggregator);
-    assert_eq!(prep_uniform.circuit.clusters.count, 1, "ablation is uniform");
+    assert_eq!(
+        prep_uniform.circuit.clusters.count, 1,
+        "ablation is uniform"
+    );
 }
 
 #[test]

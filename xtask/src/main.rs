@@ -1,1 +1,3 @@
-fn main() { println!("xtask: no tasks defined; see crates/bench for experiment binaries"); }
+fn main() {
+    println!("xtask: no tasks defined; see crates/bench for experiment binaries");
+}

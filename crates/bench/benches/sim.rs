@@ -1,0 +1,68 @@
+//! Gate-level simulation throughput: `GateSim` (event-driven oracle) vs
+//! `CompiledSim` single-lane vs the 64-lane batch mode, on random netlists
+//! at the paper's circuit size band (~100 / 1k / 5k cells).
+//!
+//! Emits `BENCH_sim.json` at the workspace root; `items_per_sec` is
+//! cycles/second for the single-lane engines and aggregate
+//! lane-cycles/second for the 64-lane mode. Run with
+//! `cargo bench -p moss-bench --bench sim`.
+
+use std::time::Duration;
+
+use moss_benchkit::Suite;
+use moss_sim::{
+    simulate_random, simulate_random_compiled, simulate_random_wide, CompiledSim, GateSim,
+};
+
+fn main() {
+    let mut suite =
+        Suite::new("sim").with_budget(Duration::from_millis(150), Duration::from_millis(600));
+
+    for &cells in &[100usize, 1_000, 5_000] {
+        let netlist = moss_datagen::random_netlist(0x51u64 ^ cells as u64, cells);
+        // Fewer cycles per iteration on bigger circuits keeps iteration
+        // times in the harness's sweet spot; throughput normalizes it out.
+        let cycles: u64 = match cells {
+            100 => 2_048,
+            1_000 => 512,
+            _ => 128,
+        };
+
+        let mut gate = GateSim::new(&netlist).expect("valid netlist");
+        suite.bench_with_items(&format!("gatesim/{cells}c"), cycles, || {
+            std::hint::black_box(simulate_random(&mut gate, cycles, 7));
+        });
+
+        let mut compiled = CompiledSim::new(&netlist).expect("valid netlist");
+        suite.bench_with_items(&format!("compiled_1lane/{cells}c"), cycles, || {
+            std::hint::black_box(simulate_random_compiled(&mut compiled, cycles, 7));
+        });
+
+        let mut wide = CompiledSim::new(&netlist).expect("valid netlist");
+        suite.bench_with_items(&format!("compiled_64lane/{cells}c"), cycles * 64, || {
+            std::hint::black_box(simulate_random_wide(&mut wide, cycles, 7));
+        });
+    }
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    suite.write_json(out).expect("write BENCH_sim.json");
+
+    // Speedup summary (the acceptance bar: >=3x single-lane at 1k/5k,
+    // >=20x aggregate for the 64-lane mode).
+    let results = suite.results();
+    for chunk in results.chunks(3) {
+        if let [g, c1, c64] = chunk {
+            let (Some(gr), Some(c1r), Some(c64r)) =
+                (g.items_per_sec, c1.items_per_sec, c64.items_per_sec)
+            else {
+                continue;
+            };
+            eprintln!(
+                "{:>8}: compiled_1lane {:.1}x, compiled_64lane {:.1}x aggregate",
+                g.name.rsplit('/').next().unwrap_or(""),
+                c1r / gr,
+                c64r / gr,
+            );
+        }
+    }
+}

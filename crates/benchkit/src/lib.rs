@@ -42,6 +42,9 @@ pub struct Measurement {
     pub min_ns: f64,
     /// Throughput in GFLOP/s, when the caller declared a flop count.
     pub gflops: Option<f64>,
+    /// Throughput in items/s, when the caller declared an item count (e.g.
+    /// simulated cycles or lane-cycles per iteration).
+    pub items_per_sec: Option<f64>,
 }
 
 /// A named collection of benchmarks that can be reported as JSON.
@@ -73,19 +76,26 @@ impl Suite {
 
     /// Times `f` and records the result under `name`.
     pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) -> &Measurement {
-        self.bench_flops(name, None, f)
+        self.bench_flops(name, None, None, f)
     }
 
     /// Times `f`, recording throughput from `flops` floating-point ops
     /// per iteration.
     pub fn bench_with_flops<F: FnMut()>(&mut self, name: &str, flops: u64, f: F) -> &Measurement {
-        self.bench_flops(name, Some(flops), f)
+        self.bench_flops(name, Some(flops), None, f)
+    }
+
+    /// Times `f`, recording throughput from `items` work units per
+    /// iteration (e.g. simulated cycles) as items/second.
+    pub fn bench_with_items<F: FnMut()>(&mut self, name: &str, items: u64, f: F) -> &Measurement {
+        self.bench_flops(name, None, Some(items), f)
     }
 
     fn bench_flops<F: FnMut()>(
         &mut self,
         name: &str,
         flops: Option<u64>,
+        items: Option<u64>,
         mut f: F,
     ) -> &Measurement {
         // Warmup: run until the budget elapses so caches/branch predictors
@@ -117,20 +127,26 @@ impl Suite {
 
         let mean_ns = total.as_nanos() as f64 / iters as f64;
         let gflops = flops.map(|fl| fl as f64 / mean_ns);
+        let items_per_sec = items.map(|it| it as f64 * 1e9 / mean_ns);
         self.results.push(Measurement {
             name: name.to_string(),
             iters,
             mean_ns,
             min_ns: min_batch_ns,
             gflops,
+            items_per_sec,
         });
         let m = self.results.last().expect("just pushed");
-        match m.gflops {
-            Some(g) => eprintln!(
+        match (m.gflops, m.items_per_sec) {
+            (Some(g), _) => eprintln!(
                 "{:40} {:>12.0} ns/iter  ({:.2} GFLOP/s, {} iters)",
                 m.name, m.mean_ns, g, m.iters
             ),
-            None => eprintln!(
+            (None, Some(r)) => eprintln!(
+                "{:40} {:>12.0} ns/iter  ({:.3e} items/s, {} iters)",
+                m.name, m.mean_ns, r, m.iters
+            ),
+            (None, None) => eprintln!(
                 "{:40} {:>12.0} ns/iter  ({} iters)",
                 m.name, m.mean_ns, m.iters
             ),
@@ -158,6 +174,9 @@ impl Suite {
             );
             if let Some(g) = m.gflops {
                 let _ = write!(out, ", \"gflops\": {g:.4}");
+            }
+            if let Some(r) = m.items_per_sec {
+                let _ = write!(out, ", \"items_per_sec\": {r:.1}");
             }
             out.push('}');
         }
@@ -210,6 +229,20 @@ mod tests {
         let g = m.gflops.expect("gflops recorded");
         assert!(g > 0.0);
         assert!((g - 1000.0 / m.mean_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn computes_items_per_sec() {
+        let mut suite = quick_suite();
+        let m = suite
+            .bench_with_items("cycles", 64, || {
+                std::hint::black_box(1 + 1);
+            })
+            .clone();
+        let r = m.items_per_sec.expect("items/s recorded");
+        assert!(r > 0.0);
+        assert!((r - 64.0 * 1e9 / m.mean_ns).abs() / r < 1e-9);
+        assert!(m.gflops.is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use moss_netlist::{CellLibrary, Netlist, NodeKind};
 use moss_rtl::{describe_registers, module_summary, Module, RegisterDescription};
-use moss_sim::GateSim;
+use moss_sim::{CompiledSim, ToggleAccum};
 use moss_synth::{synthesize, DffBinding, SynthError, SynthOptions};
 use moss_timing::TimingReport;
 
@@ -89,16 +89,17 @@ impl CircuitSample {
         let netlist = synth.netlist;
         let bindings = synth.dffs;
 
-        // Simulation ground truth: toggle rates + signal probabilities.
-        let mut sim = GateSim::new(&netlist)?;
+        // Simulation ground truth: toggle rates + signal probabilities,
+        // on the compiled bit-parallel engine (bit-identical to the GateSim
+        // reference — see `labels_match_gatesim_reference` below and the
+        // moss-sim differential suite).
+        let mut sim = CompiledSim::new(&netlist)?;
         for b in &bindings {
             sim.set_state(b.dff, b.reset);
         }
-        sim.full_settle();
+        sim.settle();
         let n = netlist.node_count();
-        let mut toggles = vec![0u64; n];
-        let mut ones = vec![0u64; n];
-        let mut prev: Vec<bool> = sim.values().to_vec();
+        let mut acc = ToggleAccum::new(&sim);
         let mut rng_state = options.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
         let inputs = netlist.primary_inputs();
         for _ in 0..options.sim_cycles {
@@ -110,24 +111,21 @@ impl CircuitSample {
                 rng_state ^= rng_state << 17;
                 sim.set_input(pi, rng_state & 1 == 1);
             }
-            sim.step();
-            let cur = sim.values();
-            for i in 0..n {
-                if cur[i] != prev[i] {
-                    toggles[i] += 1;
-                }
-                if cur[i] {
-                    ones[i] += 1;
-                }
-            }
-            prev.copy_from_slice(cur);
+            // Toggle counting is fused into the clock step: no per-cycle
+            // pass over a values snapshot.
+            sim.step_count(&mut acc);
         }
         let cycles = options.sim_cycles.max(1) as f64;
-        let toggle: Vec<f32> = toggles
+        let toggle: Vec<f32> = acc
+            .toggles()
             .iter()
             .map(|&t| (t as f64 / cycles) as f32)
             .collect();
-        let probability: Vec<f32> = ones.iter().map(|&o| (o as f64 / cycles) as f32).collect();
+        let probability: Vec<f32> = acc
+            .ones()
+            .iter()
+            .map(|&o| (o as f64 / cycles) as f32)
+            .collect();
 
         // Timing ground truth.
         let timing = TimingReport::analyze(&netlist, lib)?;
@@ -219,6 +217,57 @@ mod tests {
         let b = CircuitSample::build(&m, &lib, &SampleOptions::default()).unwrap();
         assert_eq!(a.labels.toggle, b.labels.toggle);
         assert_eq!(a.labels.total_power_nw, b.labels.total_power_nw);
+    }
+
+    #[test]
+    fn labels_match_gatesim_reference() {
+        // Re-derives toggle/probability labels with the event-driven
+        // GateSim oracle (the pre-compiled-engine label path) and pins the
+        // shipped CompiledSim labels to it bit-for-bit.
+        let m = counter_module();
+        let lib = CellLibrary::default();
+        let options = SampleOptions::default();
+        let sample = CircuitSample::build(&m, &lib, &options).unwrap();
+
+        let synth = synthesize(&m, &options.synth).unwrap();
+        let mut sim = moss_sim::GateSim::new(&synth.netlist).unwrap();
+        for b in &synth.dffs {
+            sim.set_state(b.dff, b.reset);
+        }
+        sim.full_settle();
+        let n = synth.netlist.node_count();
+        let mut toggles = vec![0u64; n];
+        let mut ones = vec![0u64; n];
+        let mut prev: Vec<bool> = sim.values().to_vec();
+        let mut rng_state = options.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let inputs = synth.netlist.primary_inputs();
+        for _ in 0..options.sim_cycles {
+            for &pi in &inputs {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                sim.set_input(pi, rng_state & 1 == 1);
+            }
+            sim.step();
+            let cur = sim.values();
+            for i in 0..n {
+                if cur[i] != prev[i] {
+                    toggles[i] += 1;
+                }
+                if cur[i] {
+                    ones[i] += 1;
+                }
+            }
+            prev.copy_from_slice(cur);
+        }
+        let cycles = options.sim_cycles.max(1) as f64;
+        let toggle: Vec<f32> = toggles
+            .iter()
+            .map(|&t| (t as f64 / cycles) as f32)
+            .collect();
+        let probability: Vec<f32> = ones.iter().map(|&o| (o as f64 / cycles) as f32).collect();
+        assert_eq!(sample.labels.toggle, toggle);
+        assert_eq!(sample.labels.probability, probability);
     }
 
     #[test]

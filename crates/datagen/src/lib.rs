@@ -10,6 +10,8 @@
 //!   `wb_data_mux`, `mult_16x32_to_48`);
 //! - [`random_module`]/[`random_corpus`]: structurally-valid random
 //!   sequential designs across size classes;
+//! - [`random_netlist`]: random gate-level netlists at an exact cell count
+//!   (simulator benchmarking and differential fuzzing);
 //! - [`finetune_pairs`]: contrastive text pairs (register prompt ↔ DFF
 //!   context, RTL source ↔ summary) for LLM fine-tuning.
 //!
@@ -36,4 +38,4 @@ pub use benchmarks::{
 };
 pub use corpus::finetune_pairs;
 pub use extras::{alu, fifo_ctrl, uart_tx};
-pub use random::{random_corpus, random_module, SizeClass};
+pub use random::{random_corpus, random_module, random_netlist, SizeClass};

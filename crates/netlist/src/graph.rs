@@ -313,6 +313,25 @@ impl Netlist {
         Ok(())
     }
 
+    /// Flattens the per-node fanin lists into one contiguous CSR arena.
+    ///
+    /// Compilers over the netlist (e.g. the compiled simulator's instruction
+    /// lowering) iterate every node's fanins exactly once; the
+    /// `Vec<Vec<NodeId>>` adjacency costs one pointer chase per node. The
+    /// returned [`FaninArena`] stores all fanins back-to-back with a
+    /// `node_count + 1` offset table, so a full sweep is a single linear
+    /// scan.
+    pub fn fanin_arena(&self) -> FaninArena {
+        let mut offsets = Vec::with_capacity(self.nodes.len() + 1);
+        let mut data = Vec::with_capacity(self.edge_count());
+        offsets.push(0);
+        for fi in &self.fanins {
+            data.extend_from_slice(fi);
+            offsets.push(data.len() as u32);
+        }
+        FaninArena { offsets, data }
+    }
+
     /// Validates structural invariants: every node has the pin count its
     /// kind requires, every primary output has exactly one driver, and
     /// fanin/fanout lists are mutually consistent.
@@ -346,6 +365,41 @@ impl Netlist {
     }
 }
 
+/// Flat CSR view of every node's fanins (see [`Netlist::fanin_arena`]).
+///
+/// # Examples
+///
+/// ```
+/// use moss_netlist::{CellKind, Netlist};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_cell(CellKind::And2, "u1", &[a, b])?;
+/// let arena = nl.fanin_arena();
+/// assert_eq!(arena.fanins(g), [a, b]);
+/// # Ok::<(), moss_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaninArena {
+    offsets: Vec<u32>,
+    data: Vec<NodeId>,
+}
+
+impl FaninArena {
+    /// Ordered fanins of `id`, as a slice into the shared arena.
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        let lo = self.offsets[id.index()] as usize;
+        let hi = self.offsets[id.index() + 1] as usize;
+        &self.data[lo..hi]
+    }
+
+    /// All fanin edges, concatenated in node-id order.
+    pub fn flat(&self) -> &[NodeId] {
+        &self.data
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +424,17 @@ mod tests {
         assert_eq!(nl.fanouts(a), [g]);
         assert_eq!(nl.primary_inputs(), vec![a, b]);
         assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn fanin_arena_matches_adjacency() {
+        let (nl, a, b, g) = tiny();
+        let arena = nl.fanin_arena();
+        for id in nl.node_ids() {
+            assert_eq!(arena.fanins(id), nl.fanins(id), "node {id}");
+        }
+        assert_eq!(arena.fanins(g), [a, b]);
+        assert_eq!(arena.flat().len(), nl.edge_count());
     }
 
     #[test]

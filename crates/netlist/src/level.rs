@@ -149,6 +149,15 @@ impl Levelization {
         &self.topo_comb
     }
 
+    /// All node levels as a dense slice, indexed by node id.
+    ///
+    /// Bulk consumers (the compiled simulator's instruction lowering, level
+    /// histograms) read every entry; the slice form avoids a bounds-checked
+    /// call per node.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
     /// The "data depth" seen at a DFF's D pin: the level of its driver.
     ///
     /// This is the quantity arrival-time prediction is supervised on.

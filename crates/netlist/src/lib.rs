@@ -51,7 +51,7 @@ mod verilog;
 pub use cell::CellKind;
 pub use cone::{dff_cone_sizes, fanin_cone, register_adjacency};
 pub use error::NetlistError;
-pub use graph::{Netlist, Node, NodeId, NodeKind};
+pub use graph::{FaninArena, Netlist, Node, NodeId, NodeKind};
 pub use level::Levelization;
 pub use library::{CellLibrary, CellTiming};
 pub use stats::{to_dot, NetlistStats};

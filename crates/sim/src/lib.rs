@@ -5,10 +5,19 @@
 //! toggle rates are collected from cycle simulations with random inputs.
 //!
 //! - [`GateSim`]: zero-delay, two-phase cycle simulator with event-driven
-//!   settling (only gates whose fanins changed are re-evaluated);
-//! - [`simulate_random`] / [`toggle_rates`]: random-stimulus runs producing
-//!   per-cell [`ToggleReport`]s, the supervision signal for the paper's
-//!   toggle-rate prediction task.
+//!   settling (only gates whose fanins changed are re-evaluated) — the
+//!   reference oracle;
+//! - [`CompiledSim`]: the production engine — the levelized netlist lowered
+//!   once into a flat, branchless instruction stream over packed 64-lane
+//!   `u64` net values, with toggle counting fused into the clock step.
+//!   Single-lane results are bit-identical to [`GateSim`]; the 64-lane
+//!   batch mode runs 64 independent stimulus streams per bitwise op;
+//! - [`simulate_random`] / [`simulate_random_compiled`] / [`toggle_rates`]:
+//!   random-stimulus runs producing per-cell [`ToggleReport`]s, the
+//!   supervision signal for the paper's toggle-rate prediction task;
+//! - [`simulate_random_wide`] / [`toggle_rates_wide`]: 64-lane batched runs
+//!   producing [`WideToggleReport`]s with per-lane activity statistics for
+//!   variance/confidence estimation.
 //!
 //! ## Example
 //!
@@ -28,12 +37,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compiled;
 mod saif;
 mod sim;
 mod toggle;
 mod vcd;
 
+pub use compiled::{CompiledSim, ToggleAccum};
 pub use saif::write_saif;
 pub use sim::GateSim;
-pub use toggle::{simulate_random, toggle_rates, ToggleReport};
+pub use toggle::{
+    simulate_random, simulate_random_compiled, simulate_random_wide, toggle_rates,
+    toggle_rates_wide, ToggleReport, WideToggleReport,
+};
 pub use vcd::VcdWriter;

@@ -145,7 +145,8 @@ impl GateSim {
     /// Re-evaluates every node from scratch (used at construction and after
     /// bulk state changes).
     pub fn full_settle(&mut self) {
-        for &id in &self.levels.topo_combinational().to_vec() {
+        for i in 0..self.levels.topo_combinational().len() {
+            let id = self.levels.topo_combinational()[i];
             self.values[id.index()] = self.eval(id);
         }
         for id in self.netlist.primary_outputs() {
@@ -161,13 +162,14 @@ impl GateSim {
     fn eval(&self, id: NodeId) -> bool {
         match self.netlist.kind(id) {
             NodeKind::Cell(kind) if !kind.is_sequential() => {
-                let inputs: Vec<bool> = self
-                    .netlist
-                    .fanins(id)
-                    .iter()
-                    .map(|&f| self.values[f.index()])
-                    .collect();
-                kind.eval(&inputs)
+                // Widest combinational cell has 3 pins; a fixed buffer keeps
+                // the per-gate eval allocation-free.
+                let fanins = self.netlist.fanins(id);
+                let mut inputs = [false; 3];
+                for (slot, &f) in inputs.iter_mut().zip(fanins) {
+                    *slot = self.values[f.index()];
+                }
+                kind.eval(&inputs[..fanins.len()])
             }
             _ => self.values[id.index()],
         }

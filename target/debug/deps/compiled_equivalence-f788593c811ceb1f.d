@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiled_equivalence-f788593c811ceb1f.d: crates/sim/tests/compiled_equivalence.rs
+
+/root/repo/target/debug/deps/compiled_equivalence-f788593c811ceb1f: crates/sim/tests/compiled_equivalence.rs
+
+crates/sim/tests/compiled_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiled_equivalence-fd407fe6608459ae.d: crates/sim/tests/compiled_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiled_equivalence-fd407fe6608459ae.rmeta: crates/sim/tests/compiled_equivalence.rs Cargo.toml
+
+crates/sim/tests/compiled_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_properties-88a8b8dd862084cb.d: crates/bench/../../tests/equivalence_properties.rs
+
+/root/repo/target/debug/deps/equivalence_properties-88a8b8dd862084cb: crates/bench/../../tests/equivalence_properties.rs
+
+crates/bench/../../tests/equivalence_properties.rs:

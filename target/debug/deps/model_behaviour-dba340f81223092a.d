@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_behaviour-dba340f81223092a.d: crates/bench/../../tests/model_behaviour.rs
+
+/root/repo/target/debug/deps/model_behaviour-dba340f81223092a: crates/bench/../../tests/model_behaviour.rs
+
+crates/bench/../../tests/model_behaviour.rs:

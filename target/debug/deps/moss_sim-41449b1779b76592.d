@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/moss_sim-41449b1779b76592.d: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs Cargo.toml
+/root/repo/target/debug/deps/moss_sim-41449b1779b76592.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmoss_sim-41449b1779b76592.rmeta: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs Cargo.toml
+/root/repo/target/debug/deps/libmoss_sim-41449b1779b76592.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs Cargo.toml
 
 crates/sim/src/lib.rs:
+crates/sim/src/compiled.rs:
 crates/sim/src/saif.rs:
 crates/sim/src/sim.rs:
 crates/sim/src/toggle.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/moss_sim-869c4c9130edf747.d: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
+/root/repo/target/debug/deps/moss_sim-869c4c9130edf747.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
 
-/root/repo/target/debug/deps/moss_sim-869c4c9130edf747: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
+/root/repo/target/debug/deps/moss_sim-869c4c9130edf747: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/compiled.rs:
 crates/sim/src/saif.rs:
 crates/sim/src/sim.rs:
 crates/sim/src/toggle.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/moss_sim-ce6af684b7c843c9.d: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
+/root/repo/target/debug/deps/moss_sim-ce6af684b7c843c9.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
 
-/root/repo/target/debug/deps/libmoss_sim-ce6af684b7c843c9.rlib: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
+/root/repo/target/debug/deps/libmoss_sim-ce6af684b7c843c9.rlib: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
 
-/root/repo/target/debug/deps/libmoss_sim-ce6af684b7c843c9.rmeta: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
+/root/repo/target/debug/deps/libmoss_sim-ce6af684b7c843c9.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/compiled.rs:
 crates/sim/src/saif.rs:
 crates/sim/src/sim.rs:
 crates/sim/src/toggle.rs:

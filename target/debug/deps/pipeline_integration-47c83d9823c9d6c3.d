@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-47c83d9823c9d6c3.d: crates/bench/../../tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-47c83d9823c9d6c3: crates/bench/../../tests/pipeline_integration.rs
+
+crates/bench/../../tests/pipeline_integration.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sim-21288a700a347b4d.d: crates/bench/benches/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-21288a700a347b4d.rmeta: crates/bench/benches/sim.rs Cargo.toml
+
+crates/bench/benches/sim.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

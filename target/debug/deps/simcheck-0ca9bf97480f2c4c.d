@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simcheck-0ca9bf97480f2c4c.d: crates/bench/src/bin/simcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimcheck-0ca9bf97480f2c4c.rmeta: crates/bench/src/bin/simcheck.rs Cargo.toml
+
+crates/bench/src/bin/simcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simcheck-3435a56e07e7c779.d: crates/bench/src/bin/simcheck.rs
+
+/root/repo/target/debug/deps/simcheck-3435a56e07e7c779: crates/bench/src/bin/simcheck.rs
+
+crates/bench/src/bin/simcheck.rs:

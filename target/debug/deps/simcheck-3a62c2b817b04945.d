@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simcheck-3a62c2b817b04945.d: crates/bench/src/bin/simcheck.rs
+
+/root/repo/target/debug/deps/simcheck-3a62c2b817b04945: crates/bench/src/bin/simcheck.rs
+
+crates/bench/src/bin/simcheck.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simcheck-d6015fce0e671bdd.d: crates/bench/src/bin/simcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimcheck-d6015fce0e671bdd.rmeta: crates/bench/src/bin/simcheck.rs Cargo.toml
+
+crates/bench/src/bin/simcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/moss_sim-3a96e115f59f312a.d: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
+/root/repo/target/release/deps/moss_sim-3a96e115f59f312a.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
 
-/root/repo/target/release/deps/libmoss_sim-3a96e115f59f312a.rlib: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
+/root/repo/target/release/deps/libmoss_sim-3a96e115f59f312a.rlib: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
 
-/root/repo/target/release/deps/libmoss_sim-3a96e115f59f312a.rmeta: crates/sim/src/lib.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
+/root/repo/target/release/deps/libmoss_sim-3a96e115f59f312a.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/saif.rs crates/sim/src/sim.rs crates/sim/src/toggle.rs crates/sim/src/vcd.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/compiled.rs:
 crates/sim/src/saif.rs:
 crates/sim/src/sim.rs:
 crates/sim/src/toggle.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sim-5dacaf4d9b81b6f2.d: crates/bench/benches/sim.rs
+
+/root/repo/target/release/deps/sim-5dacaf4d9b81b6f2: crates/bench/benches/sim.rs
+
+crates/bench/benches/sim.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

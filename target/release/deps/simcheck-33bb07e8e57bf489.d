@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simcheck-33bb07e8e57bf489.d: crates/bench/src/bin/simcheck.rs
+
+/root/repo/target/release/deps/simcheck-33bb07e8e57bf489: crates/bench/src/bin/simcheck.rs
+
+crates/bench/src/bin/simcheck.rs:

@@ -4,6 +4,13 @@
 //! trajectory of the compute backends is recorded PR over PR.
 //!
 //! Run with `cargo bench -p moss-bench --bench kernels`.
+//!
+//! `MOSS_BENCH_OUT=path` redirects the JSON report (so `cargo xtask
+//! bench-check` can compare a fresh run against the committed baseline
+//! without overwriting it) and `MOSS_BENCH_QUICK=1` shrinks the timing
+//! budgets for a fast regression-gate run.
+
+use std::time::Duration;
 
 use moss_benchkit::Suite;
 use moss_tensor::backend::{configured_threads, Backend};
@@ -15,6 +22,9 @@ const SHAPES: &[(usize, usize, usize)] = &[(256, 16, 16), (2048, 64, 64)];
 
 fn main() {
     let mut suite = Suite::new("kernels");
+    if std::env::var("MOSS_BENCH_QUICK").is_ok_and(|v| v == "1") {
+        suite = suite.with_budget(Duration::from_millis(50), Duration::from_millis(200));
+    }
     let parallel = Parallel::new();
     let backends: [(&str, &dyn Backend); 3] = [
         ("naive", &Naive),
@@ -41,6 +51,8 @@ fn main() {
         }
     }
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
-    suite.write_json(out).expect("write BENCH_kernels.json");
+    let out = std::env::var("MOSS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
+    });
+    suite.write_json(&out).expect("write kernels bench JSON");
 }

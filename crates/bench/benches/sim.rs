@@ -5,7 +5,9 @@
 //! Emits `BENCH_sim.json` at the workspace root; `items_per_sec` is
 //! cycles/second for the single-lane engines and aggregate
 //! lane-cycles/second for the 64-lane mode. Run with
-//! `cargo bench -p moss-bench --bench sim`.
+//! `cargo bench -p moss-bench --bench sim`. `MOSS_BENCH_OUT` redirects the
+//! JSON report and `MOSS_BENCH_QUICK=1` shrinks the timing budgets (used
+//! by `cargo xtask bench-check`).
 
 use std::time::Duration;
 
@@ -17,6 +19,9 @@ use moss_sim::{
 fn main() {
     let mut suite =
         Suite::new("sim").with_budget(Duration::from_millis(150), Duration::from_millis(600));
+    if std::env::var("MOSS_BENCH_QUICK").is_ok_and(|v| v == "1") {
+        suite = suite.with_budget(Duration::from_millis(50), Duration::from_millis(200));
+    }
 
     for &cells in &[100usize, 1_000, 5_000] {
         let netlist = moss_datagen::random_netlist(0x51u64 ^ cells as u64, cells);
@@ -44,8 +49,10 @@ fn main() {
         });
     }
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    suite.write_json(out).expect("write BENCH_sim.json");
+    let out = std::env::var("MOSS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").to_string()
+    });
+    suite.write_json(&out).expect("write sim bench JSON");
 
     // Speedup summary (the acceptance bar: >=3x single-lane at 1k/5k,
     // >=20x aggregate for the 64-lane mode).

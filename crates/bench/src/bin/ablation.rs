@@ -52,6 +52,7 @@ fn run_config(
 }
 
 fn main() {
+    let _obs = moss_obs::session();
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);

@@ -1,6 +1,7 @@
 //! Prints the synthesized cell counts of the Table I benchmark suite.
 
 fn main() {
+    let _obs = moss_obs::session();
     println!("{:<20} {:>8} {:>6}   paper", "circuit", "cells", "dffs");
     let paper = [278, 610, 643, 731, 812, 1306, 1364, 4144];
     for ((name, cells, dffs), p) in moss_bench::pipeline::suite_census().into_iter().zip(paper) {

@@ -16,6 +16,7 @@ use moss_datagen::{pipeline_reg, signed_mac};
 use moss_rtl::Module;
 
 fn main() {
+    let _obs = moss_obs::session();
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);

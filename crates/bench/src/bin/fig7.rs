@@ -7,6 +7,7 @@ use moss::MossVariant;
 use moss_bench::pipeline::{build_samples, build_world, train_variant};
 
 fn main() {
+    let _obs = moss_obs::session();
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);

@@ -65,6 +65,7 @@ fn check(
 }
 
 fn main() {
+    let _obs = moss_obs::session();
     let mut circuits = 0u64;
     let mut bad_nodes = 0u64;
     let mut clocks = Clocks::default();

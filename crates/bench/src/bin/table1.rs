@@ -10,6 +10,7 @@ use moss_bench::pipeline::{
 };
 
 fn main() {
+    let _obs = moss_obs::session();
     let config = moss_bench::config_from_args();
     eprintln!(
         "# building world (encoder fine-tune, {} corpus designs)…",

@@ -13,6 +13,7 @@ use moss_bench::pipeline::{build_world, fep_of, train_variant};
 use moss_datagen::{random_module, SizeClass};
 
 fn main() {
+    let _obs = moss_obs::session();
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);

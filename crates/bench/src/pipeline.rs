@@ -117,6 +117,7 @@ pub struct World {
 /// Builds the world: creates the encoder and fine-tunes it on register/DFF
 /// and RTL/summary pairs from a random corpus (the paper's §IV-A step).
 pub fn build_world(config: ExperimentConfig) -> World {
+    let _obs = moss_obs::span("build_world");
     let mut store = ParamStore::new();
     let encoder = TextEncoder::new(config.encoder, &mut store, config.seed);
     let corpus = moss_datagen::random_corpus(config.seed ^ 0xc0ffee, config.corpus_size);
@@ -147,6 +148,7 @@ pub fn build_samples_variant(
     modules: &[Module],
     synth_seed: u64,
 ) -> Vec<CircuitSample> {
+    let _obs = moss_obs::span_items("build_samples", modules.len() as u64);
     moss_tensor::par_map(modules, |i, m| {
         CircuitSample::build(
             m,
@@ -165,6 +167,7 @@ pub fn build_samples_variant(
 /// Prepares additional (e.g. held-out) samples for an already-trained
 /// variant run.
 pub fn prepare_for(world: &World, run: &VariantRun, samples: &[CircuitSample]) -> Vec<Prepared> {
+    let _obs = moss_obs::span_items("prepare_heldout", samples.len() as u64);
     moss_tensor::par_map(samples, |_, s| {
         run.model
             .prepare(
@@ -184,6 +187,7 @@ pub fn prepare_for_baseline(
     run: &BaselineRun,
     samples: &[CircuitSample],
 ) -> Vec<Prepared> {
+    let _obs = moss_obs::span_items("prepare_heldout", samples.len() as u64);
     moss_tensor::par_map(samples, |_, s| {
         run.model
             .prepare(
@@ -199,16 +203,19 @@ pub fn prepare_for_baseline(
 
 /// Scores a trained variant on arbitrary prepared circuits.
 pub fn evaluate_variant_on(run: &VariantRun, preps: &[Prepared]) -> Vec<CircuitScores> {
+    let _obs = moss_obs::span_items("evaluate", preps.len() as u64);
     moss_tensor::par_map(preps, |_, p| score(&run.model.predict(&run.store, p), p))
 }
 
 /// Scores a trained baseline on arbitrary prepared circuits.
 pub fn evaluate_baseline_on(run: &BaselineRun, preps: &[Prepared]) -> Vec<CircuitScores> {
+    let _obs = moss_obs::span_items("evaluate", preps.len() as u64);
     moss_tensor::par_map(preps, |_, p| score(&run.model.predict(&run.store, p), p))
 }
 
 /// Builds ground-truth samples for a set of modules.
 pub fn build_samples(world: &World, modules: &[Module]) -> Vec<CircuitSample> {
+    let _obs = moss_obs::span_items("build_samples", modules.len() as u64);
     moss_tensor::par_map(modules, |i, m| {
         CircuitSample::build(
             m,
@@ -247,6 +254,7 @@ pub struct VariantRun {
 
 /// Trains one MOSS variant on `samples`.
 pub fn train_variant(world: &World, variant: MossVariant, samples: &[CircuitSample]) -> VariantRun {
+    let _obs = moss_obs::span("train_variant");
     let mut store = world.store.clone();
     let model = MossModel::new(
         MossConfig {
@@ -299,6 +307,7 @@ pub struct BaselineRun {
 
 /// Trains the DeepSeq2 baseline on `samples`.
 pub fn train_baseline(world: &World, samples: &[CircuitSample]) -> BaselineRun {
+    let _obs = moss_obs::span("train_baseline");
     let mut store = world.store.clone();
     let model = DeepSeq2::new(
         DeepSeq2Config {
@@ -354,6 +363,7 @@ pub fn score(pred: &Predictions, prep: &Prepared) -> CircuitScores {
 
 /// Evaluates a trained MOSS variant on all its prepared circuits.
 pub fn evaluate_variant(run: &VariantRun) -> Vec<CircuitScores> {
+    let _obs = moss_obs::span_items("evaluate", run.preps.len() as u64);
     moss_tensor::par_map(&run.preps, |_, p| {
         score(&run.model.predict(&run.store, p), p)
     })
@@ -361,6 +371,7 @@ pub fn evaluate_variant(run: &VariantRun) -> Vec<CircuitScores> {
 
 /// Evaluates a trained baseline on all its prepared circuits.
 pub fn evaluate_baseline(run: &BaselineRun) -> Vec<CircuitScores> {
+    let _obs = moss_obs::span_items("evaluate", run.preps.len() as u64);
     moss_tensor::par_map(&run.preps, |_, p| {
         score(&run.model.predict(&run.store, p), p)
     })
@@ -379,6 +390,7 @@ pub fn averages(scores: &[CircuitScores]) -> (f64, f64, f64) {
 /// FEP retrieval accuracy of a trained variant on a group of prepared
 /// circuits (paper Table II protocol).
 pub fn fep_of(world: &World, run: &VariantRun, preps: &[Prepared]) -> f64 {
+    let _obs = moss_obs::span_items("fep", preps.len() as u64);
     let rtl: Vec<Vec<f32>> = moss_tensor::par_map(preps, |_, p| {
         run.model.rtl_align_vec(&run.store, &world.encoder, p)
     });

@@ -6,7 +6,10 @@
 //! iterations with `std::time::Instant`, mean/min statistics, optional
 //! GFLOP/s when the caller declares a flop count, and a hand-rolled JSON
 //! report writer so perf trajectories can be recorded as `BENCH_*.json`
-//! artifacts at the workspace root.
+//! artifacts at the workspace root. Statistics are the per-iteration mean
+//! and the best per-iteration mean over a timed batch
+//! ([`Measurement::min_batch_ns`]); single-iteration minima are never
+//! measured.
 //!
 //! ## Example
 //!
@@ -38,8 +41,11 @@ pub struct Measurement {
     pub iters: u64,
     /// Mean wall-clock time per iteration, in nanoseconds.
     pub mean_ns: f64,
-    /// Fastest single iteration, in nanoseconds.
-    pub min_ns: f64,
+    /// Lowest per-iteration *mean across a timed batch*, in nanoseconds —
+    /// an optimistic steady-state estimate (the least-disturbed batch),
+    /// not the fastest single iteration. Iterations are timed in batches,
+    /// so a single-iteration minimum is never observed.
+    pub min_batch_ns: f64,
     /// Throughput in GFLOP/s, when the caller declared a flop count.
     pub gflops: Option<f64>,
     /// Throughput in items/s, when the caller declared an item count (e.g.
@@ -132,7 +138,7 @@ impl Suite {
             name: name.to_string(),
             iters,
             mean_ns,
-            min_ns: min_batch_ns,
+            min_batch_ns,
             gflops,
             items_per_sec,
         });
@@ -169,8 +175,8 @@ impl Suite {
             }
             let _ = write!(
                 out,
-                "\n    {{\"name\": {:?}, \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}",
-                m.name, m.iters, m.mean_ns, m.min_ns
+                "\n    {{\"name\": {:?}, \"iters\": {}, \"mean_ns\": {:.1}, \"min_batch_ns\": {:.1}",
+                m.name, m.iters, m.mean_ns, m.min_batch_ns
             );
             if let Some(g) = m.gflops {
                 let _ = write!(out, ", \"gflops\": {g:.4}");
@@ -211,7 +217,7 @@ mod tests {
         assert_eq!(m.name, "noop");
         assert!(m.iters > 0);
         assert!(m.mean_ns >= 0.0);
-        assert!(m.min_ns <= m.mean_ns * 1.001);
+        assert!(m.min_batch_ns <= m.mean_ns * 1.001);
     }
 
     #[test]
@@ -255,6 +261,8 @@ mod tests {
         assert!(json.contains("\"bench\": \"test\""));
         assert!(json.contains("\"name\": \"a/b\""));
         assert!(json.contains("\"gflops\""));
+        assert!(json.contains("\"min_batch_ns\""));
+        assert!(!json.contains("\"min_ns\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

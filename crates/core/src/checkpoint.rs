@@ -5,7 +5,9 @@
 //! fixed-layout header carries the [`MossConfig`] so a restored model is
 //! reconstructed with the same architecture and variant.
 
+use std::fs;
 use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 
 use moss_tensor::{load_params, save_params, ParamStore};
 
@@ -94,6 +96,57 @@ pub fn load_checkpoint<R: Read>(mut reader: R) -> io::Result<(MossConfig, ParamS
     Ok((config, store))
 }
 
+/// Writes a checkpoint to `path` crash-safely: the bytes go to a sibling
+/// temporary file (`<path>.tmp`), are flushed and synced, and the
+/// temporary is atomically renamed over `path`. An interrupted save can
+/// therefore never leave a truncated `MOSSCKP1` blob where a valid
+/// checkpoint used to be — readers see either the old file or the new one.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; on failure the temporary file is removed
+/// (best effort) and any pre-existing checkpoint at `path` is untouched.
+pub fn save_checkpoint_file<P: AsRef<Path>>(
+    path: P,
+    config: &MossConfig,
+    store: &ParamStore,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let file = fs::File::create(&tmp)?;
+        let mut writer = io::BufWriter::new(file);
+        save_checkpoint(&mut writer, config, store)?;
+        writer.flush()?;
+        // Push the payload to disk before the rename publishes it.
+        writer.get_ref().sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads a checkpoint written by [`save_checkpoint_file`] (or any
+/// [`save_checkpoint`] output on disk).
+///
+/// # Errors
+///
+/// Propagates open errors and [`load_checkpoint`] validation errors
+/// (truncated or corrupt files are rejected with `InvalidData` /
+/// `UnexpectedEof`).
+pub fn load_checkpoint_file<P: AsRef<Path>>(path: P) -> io::Result<(MossConfig, ParamStore)> {
+    let file = fs::File::open(path.as_ref())?;
+    load_checkpoint(io::BufReader::new(file))
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
 fn variant_tag(v: MossVariant) -> u64 {
     match v {
         MossVariant::WithoutFeatureEnhancement => 0,
@@ -180,6 +233,67 @@ mod tests {
         assert_eq!(before.toggle, after.toggle);
         assert_eq!(before.arrival_ns, after.arrival_ns);
         assert_eq!(before.power_nw, after.power_nw);
+    }
+
+    fn temp_ckpt_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("moss_ckpt_{tag}_{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_exact() {
+        let path = temp_ckpt_path("roundtrip");
+        let mut store = ParamStore::new();
+        let config = MossConfig::small(8, MossVariant::Full);
+        let _model = MossModel::new(config, &mut store, 3);
+        save_checkpoint_file(&path, &config, &store).unwrap();
+        // No temporary left behind after a successful save.
+        assert!(!tmp_path(&path).exists());
+        let (rc, rs) = load_checkpoint_file(&path).unwrap();
+        assert_eq!(rc, config);
+        assert_eq!(rs.scalar_count(), store.scalar_count());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_original_checkpoint_intact() {
+        let path = temp_ckpt_path("interrupted");
+        let mut store = ParamStore::new();
+        let config = MossConfig::small(8, MossVariant::Full);
+        let _model = MossModel::new(config, &mut store, 5);
+        save_checkpoint_file(&path, &config, &store).unwrap();
+
+        // Simulate a crash mid-save: a truncated payload sitting in the
+        // temporary file, never renamed. The published checkpoint must
+        // still load, and the truncated blob must be rejected on its own.
+        let mut full = Vec::new();
+        save_checkpoint(&mut full, &config, &store).unwrap();
+        full.truncate(full.len() / 3);
+        std::fs::write(tmp_path(&path), &full).unwrap();
+
+        let (rc, rs) = load_checkpoint_file(&path).unwrap();
+        assert_eq!(rc, config);
+        assert_eq!(rs.scalar_count(), store.scalar_count());
+        assert!(load_checkpoint_file(tmp_path(&path)).is_err());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(tmp_path(&path));
+    }
+
+    #[test]
+    fn failed_save_cleans_up_and_preserves_existing_file() {
+        let path = temp_ckpt_path("failed");
+        let mut store = ParamStore::new();
+        let config = MossConfig::small(8, MossVariant::Full);
+        let _model = MossModel::new(config, &mut store, 7);
+        save_checkpoint_file(&path, &config, &store).unwrap();
+
+        // Saving to a path whose parent directory does not exist fails…
+        let bad = std::env::temp_dir()
+            .join("moss_ckpt_no_such_dir")
+            .join("x.bin");
+        assert!(save_checkpoint_file(&bad, &config, &store).is_err());
+        // …and the original checkpoint is untouched.
+        assert!(load_checkpoint_file(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -63,7 +63,9 @@ mod model;
 mod sample;
 mod trainer;
 
-pub use checkpoint::{load_checkpoint, save_checkpoint};
+pub use checkpoint::{
+    load_checkpoint, load_checkpoint_file, save_checkpoint, save_checkpoint_file,
+};
 pub use deepseq2::{DeepSeq2, DeepSeq2Config, DeepSeq2Losses};
 pub use features::{build_node_features, FeatureOptions, NodeFeatures, STRUCT_DIM};
 pub use model::{LocalLosses, MossConfig, MossModel, MossVariant, Predictions, Prepared};

@@ -8,7 +8,10 @@ use crate::model::{Predictions, Prepared};
 ///
 /// The floor keeps near-zero targets (an idle cell's toggle rate) from
 /// blowing the relative error up, matching how commercial accuracy reports
-/// treat tiny denominators.
+/// treat tiny denominators. A non-finite prediction — a diverged model
+/// emitting NaN/∞ — counts as maximal error (relative error 1, accuracy
+/// contribution 0) instead of propagating NaN through the mean, so one bad
+/// node (or one diverged model) cannot poison a whole accuracy table.
 ///
 /// # Panics
 ///
@@ -21,7 +24,17 @@ pub fn relative_accuracy(pred: &[f32], truth: &[f32], floor: f32) -> f64 {
     let mean_err: f64 = pred
         .iter()
         .zip(truth)
-        .map(|(&p, &t)| ((p - t).abs() / t.abs().max(floor)) as f64)
+        .map(|(&p, &t)| {
+            // A non-finite prediction counts as maximal error (accuracy
+            // contribution 0) rather than poisoning the whole mean with
+            // NaN. Finite errors stay uncapped — seed-metric semantics.
+            let err = ((p - t).abs() / t.abs().max(floor)) as f64;
+            if err.is_finite() {
+                err
+            } else {
+                1.0
+            }
+        })
         .sum::<f64>()
         / pred.len() as f64;
     (1.0 - mean_err).clamp(0.0, 1.0)
@@ -39,11 +52,20 @@ pub fn trp_accuracy(pred: &Predictions, prep: &Prepared) -> f64 {
 
 /// Power prediction accuracy (circuit-level).
 pub fn pp_accuracy(pred: &Predictions, prep: &Prepared) -> f64 {
-    let t = prep.true_power_nw;
-    if t <= 0.0 {
+    power_accuracy(pred.power_nw, prep.true_power_nw)
+}
+
+/// Scalar core of [`pp_accuracy`]: `1 − |pred − true| / true`, clamped to
+/// `[0, 1]`; a non-finite prediction scores 0 rather than NaN.
+pub fn power_accuracy(pred_nw: f64, true_nw: f64) -> f64 {
+    if true_nw <= 0.0 {
         return 1.0;
     }
-    (1.0 - ((pred.power_nw - t).abs() / t)).clamp(0.0, 1.0)
+    let err = (pred_nw - true_nw).abs() / true_nw;
+    if !err.is_finite() {
+        return 0.0;
+    }
+    (1.0 - err).clamp(0.0, 1.0)
 }
 
 /// Functional-equivalence prediction accuracy: top-1 retrieval.
@@ -72,11 +94,7 @@ pub fn fep_accuracy(rtl_embs: &[Vec<f32>], netlist_embs: &[Vec<f32>]) -> f64 {
         let best = netlist_embs
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                cosine(r, a)
-                    .partial_cmp(&cosine(r, b))
-                    .expect("finite cosine")
-            })
+            .max_by(|(_, a), (_, b)| cosine(r, a).total_cmp(&cosine(r, b)))
             .map(|(j, _)| j)
             .expect("nonempty");
         if best == i {
@@ -87,25 +105,41 @@ pub fn fep_accuracy(rtl_embs: &[Vec<f32>], netlist_embs: &[Vec<f32>]) -> f64 {
 }
 
 fn center(embs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-    let n = embs.len().max(1) as f32;
     let d = embs.first().map_or(0, Vec::len);
+    // The gallery mean is computed per dimension over *finite* values only:
+    // a diverged embedding (NaN/∞ from a broken model) must not poison the
+    // centering of every other embedding in the evaluation group.
     let mut mean = vec![0.0f32; d];
+    let mut count = vec![0u32; d];
     for e in embs {
-        for (m, &v) in mean.iter_mut().zip(e) {
-            *m += v / n;
+        for ((m, c), &v) in mean.iter_mut().zip(&mut count).zip(e) {
+            if v.is_finite() {
+                *m += v;
+                *c += 1;
+            }
         }
+    }
+    for (m, &c) in mean.iter_mut().zip(&count) {
+        *m /= c.max(1) as f32;
     }
     embs.iter()
         .map(|e| e.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
         .collect()
 }
 
-/// Cosine similarity of two equal-length vectors.
+/// Cosine similarity of two equal-length vectors. Total: non-finite inputs
+/// yield −1 (the worst similarity) instead of NaN, so retrieval over a set
+/// containing one diverged embedding neither panics nor prefers it.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
     let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
-    dot / (na * nb).max(1e-12)
+    let c = dot / (na * nb).max(1e-12);
+    if c.is_finite() {
+        c
+    } else {
+        -1.0
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +195,53 @@ mod tests {
         let mut net = rtl.clone();
         net.rotate_left(1);
         assert_eq!(fep_accuracy(&rtl, &net), 0.0);
+    }
+
+    #[test]
+    fn nan_predictions_score_zero_not_nan() {
+        // A diverged model emitting NaN/∞ must score 0, not poison the
+        // whole mean with NaN.
+        let truth = [1.0f32, 1.0];
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let a = relative_accuracy(&[bad, bad], &truth, 0.05);
+            assert_eq!(a, 0.0, "non-finite predictions must score 0, got {a}");
+            // One bad element costs exactly its share of the mean.
+            let mixed = relative_accuracy(&[bad, 1.0], &truth, 0.05);
+            assert!((mixed - 0.5).abs() < 1e-9, "mixed accuracy {mixed}");
+            assert!(mixed.is_finite());
+        }
+    }
+
+    #[test]
+    fn nan_power_scores_zero() {
+        assert_eq!(power_accuracy(f64::NAN, 10.0), 0.0);
+        assert_eq!(power_accuracy(f64::INFINITY, 10.0), 0.0);
+        assert!((power_accuracy(9.0, 10.0) - 0.9).abs() < 1e-12);
+        assert_eq!(power_accuracy(f64::NAN, 0.0), 1.0);
+    }
+
+    #[test]
+    fn fep_survives_nan_embeddings() {
+        // One diverged netlist embedding: FEP must not panic, must not
+        // return NaN, and must still credit the three intact pairs.
+        let rtl: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..4).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let mut net = rtl.clone();
+        net[2] = vec![f32::NAN; 4];
+        let acc = fep_accuracy(&rtl, &net);
+        assert!(acc.is_finite());
+        assert_eq!(acc, 0.75, "intact pairs still retrieve: {acc}");
+        // Fully-NaN gallery: still total, still finite.
+        let all_nan: Vec<Vec<f32>> = (0..4).map(|_| vec![f32::NAN; 4]).collect();
+        let acc = fep_accuracy(&rtl, &all_nan);
+        assert!(acc.is_finite());
+    }
+
+    #[test]
+    fn cosine_is_total_on_non_finite_input() {
+        assert_eq!(cosine(&[f32::NAN, 0.0], &[1.0, 0.0]), -1.0);
+        assert_eq!(cosine(&[1.0, f32::INFINITY], &[1.0, 1.0]), -1.0);
     }
 
     #[test]

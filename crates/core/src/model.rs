@@ -251,6 +251,7 @@ impl MossModel {
         lib: &CellLibrary,
         clock_mhz: f64,
     ) -> Result<Prepared, moss_netlist::NetlistError> {
+        let _obs = moss_obs::span_items("prepare", sample.netlist.node_count() as u64);
         let options = FeatureOptions {
             llm_enhancement: self.config.variant.llm_features(),
         };

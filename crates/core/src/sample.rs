@@ -85,6 +85,7 @@ impl CircuitSample {
         lib: &CellLibrary,
         options: &SampleOptions,
     ) -> Result<CircuitSample, SynthError> {
+        let _obs = moss_obs::span("build_sample");
         let synth = synthesize(module, &options.synth)?;
         let netlist = synth.netlist;
         let bindings = synth.dffs;
@@ -93,6 +94,8 @@ impl CircuitSample {
         // on the compiled bit-parallel engine (bit-identical to the GateSim
         // reference — see `labels_match_gatesim_reference` below and the
         // moss-sim differential suite).
+        let sim_obs = moss_obs::span_items("sim_labels", options.sim_cycles);
+        moss_obs::counter("sim.lane_cycles", options.sim_cycles);
         let mut sim = CompiledSim::new(&netlist)?;
         for b in &bindings {
             sim.set_state(b.dff, b.reset);
@@ -126,6 +129,7 @@ impl CircuitSample {
             .iter()
             .map(|&o| (o as f64 / cycles) as f32)
             .collect();
+        drop(sim_obs);
 
         // Timing ground truth.
         let timing = TimingReport::analyze(&netlist, lib)?;

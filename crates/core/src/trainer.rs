@@ -123,10 +123,13 @@ impl Trainer {
         store: &mut ParamStore,
         circuits: &[Prepared],
     ) -> Vec<PretrainEpoch> {
+        let _obs = moss_obs::span("pretrain");
         let mut weights = DynamicWeights::new(4);
         let mut history = Vec::with_capacity(self.config.pretrain_epochs);
         let mut order: Vec<usize> = (0..circuits.len()).collect();
         for _ in 0..self.config.pretrain_epochs {
+            let _epoch_obs = moss_obs::span_items("pretrain_epoch", circuits.len() as u64);
+            moss_obs::counter("train.pretrain_epochs", 1);
             order.shuffle(&mut self.rng);
             let mut sums = [0.0f64; 5];
             for &i in &order {
@@ -178,6 +181,7 @@ impl Trainer {
         if !model.config().variant.alignment() || circuits.len() < 2 {
             return Vec::new();
         }
+        let _obs = moss_obs::span("align");
         // The GNN trunk is frozen during alignment: its outputs are
         // precomputed once, and only the projection heads (W_n, W_r,
         // register/DFF projections), the RNM MLP, the temperature, and the
@@ -192,16 +196,21 @@ impl Trainer {
             .collect();
         let mut opt = Adam::new(self.config.learning_rate * 2.0);
         let batch = self.config.align_batch.max(2).min(circuits.len());
+        // Batch boundaries: a leftover tail of one circuit cannot feed the
+        // contrastive RNC loss on its own, so it is folded into the previous
+        // batch rather than dropped — every circuit receives an alignment
+        // gradient every epoch, and the epoch average covers all samples.
+        let ranges = batch_ranges(circuits.len(), batch);
         let mut history = Vec::with_capacity(self.config.align_epochs);
         let mut order: Vec<usize> = (0..circuits.len()).collect();
         for _ in 0..self.config.align_epochs {
+            let _epoch_obs = moss_obs::span_items("align_epoch", circuits.len() as u64);
+            moss_obs::counter("train.align_epochs", 1);
             order.shuffle(&mut self.rng);
             let mut sums = [0.0f64; 4];
             let mut batches = 0usize;
-            for chunk in order.chunks(batch) {
-                if chunk.len() < 2 {
-                    continue;
-                }
+            for &(start, end) in &ranges {
+                let chunk = &order[start..end];
                 let mut g = Graph::new();
                 let mut rtl = Vec::with_capacity(chunk.len());
                 let mut net = Vec::with_capacity(chunk.len());
@@ -287,6 +296,29 @@ impl Trainer {
         }
         history
     }
+}
+
+/// Splits `len` indices into `[start, end)` batches of nominal size
+/// `batch`, folding a final chunk shorter than 2 into the previous batch
+/// (the RNC contrastive loss needs ≥ 2 circuits per batch). Every index is
+/// covered by exactly one range, and with `len ≥ 2` every range holds at
+/// least 2 indices.
+fn batch_ranges(len: usize, batch: usize) -> Vec<(usize, usize)> {
+    let batch = batch.max(1);
+    let mut ranges = Vec::with_capacity(len.div_ceil(batch));
+    let mut start = 0;
+    while start < len {
+        let end = (start + batch).min(len);
+        ranges.push((start, end));
+        start = end;
+    }
+    if let [.., prev, last] = ranges.as_mut_slice() {
+        if last.1 - last.0 < 2 {
+            prev.1 = last.1;
+            ranges.pop();
+        }
+    }
+    ranges
 }
 
 fn weighted_sum(g: &mut Graph, losses: &[Var], weights: &[f32]) -> Var {
@@ -415,6 +447,54 @@ mod tests {
         let mut trainer = Trainer::new(TrainConfig::default());
         let hist = trainer.align(&model, &enc, &mut store, &[prep.clone(), prep]);
         assert!(hist.is_empty());
+    }
+
+    #[test]
+    fn batch_ranges_fold_short_tail_instead_of_dropping() {
+        // The ISSUE case: 5 circuits, align_batch 4 — the old chunking
+        // dropped the 1-circuit tail, starving it of alignment gradient.
+        assert_eq!(batch_ranges(5, 4), vec![(0, 5)]);
+        assert_eq!(batch_ranges(9, 4), vec![(0, 4), (4, 9)]);
+        // Exact multiples are untouched.
+        assert_eq!(batch_ranges(8, 4), vec![(0, 4), (4, 8)]);
+        // Tails of >= 2 stay their own batch.
+        assert_eq!(batch_ranges(6, 4), vec![(0, 4), (4, 6)]);
+    }
+
+    #[test]
+    fn batch_ranges_cover_every_circuit_with_usable_batches() {
+        for len in 2..48 {
+            for batch in 2..9 {
+                let r = batch_ranges(len, batch);
+                assert_eq!(r[0].0, 0);
+                assert_eq!(r.last().unwrap().1, len);
+                assert!(r.windows(2).all(|w| w[0].1 == w[1].0), "contiguous");
+                assert!(
+                    r.iter().all(|&(s, e)| e - s >= 2),
+                    "len {len} batch {batch}: every batch feeds the RNC loss"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn align_covers_all_circuits_when_len_mod_batch_is_one() {
+        // 3 circuits with batch 2 (3 % 2 == 1): the fix folds the tail so
+        // each epoch trains one batch of all 3 circuits instead of
+        // dropping one.
+        let (model, enc, mut store, preps) = tiny_world();
+        let mut trainer = Trainer::new(TrainConfig {
+            pretrain_epochs: 2,
+            align_epochs: 6,
+            align_batch: 2,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        });
+        trainer.pretrain(&model, &mut store, &preps);
+        let hist = trainer.align(&model, &enc, &mut store, &preps);
+        assert_eq!(hist.len(), 6);
+        assert!(hist.iter().all(|e| e.total.is_finite()));
+        assert!(hist.last().unwrap().rnc < hist.first().unwrap().rnc);
     }
 
     #[test]

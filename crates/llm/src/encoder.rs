@@ -328,6 +328,7 @@ impl TextEncoder {
     /// Convenience: embeds raw text outside any training loop.
     pub fn embed_text(&self, store: &ParamStore, text: &str) -> Tensor {
         let tokens = self.tokenizer.encode(text, self.config.max_len);
+        let _obs = moss_obs::span_items("embed_text", tokens.len() as u64);
         let mut g = Graph::new();
         let pooled = self.pooled(&mut g, store, &tokens, TrainMode::LoraOnly);
         g.value(pooled).clone()
@@ -343,6 +344,7 @@ impl TextEncoder {
     /// distinguishing body logic in view.
     pub fn embed_long(&self, store: &ParamStore, text: &str) -> Tensor {
         let all = self.tokenizer.encode(text, usize::MAX);
+        let _obs = moss_obs::span_items("embed_long", all.len() as u64);
         let body = &all[1..]; // drop the leading [CLS]; windows get their own
         let window = self.config.max_len - 1;
         if body.len() <= window {

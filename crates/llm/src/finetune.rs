@@ -85,6 +85,8 @@ impl FineTuner {
         store: &mut ParamStore,
         pairs: &[(String, String)],
     ) -> FineTuneEpoch {
+        let _obs = moss_obs::span_items("finetune_epoch", pairs.len() as u64);
+        moss_obs::counter("llm.finetune_epochs", 1);
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         order.shuffle(&mut self.rng);
         let mut sum_con = 0.0f64;

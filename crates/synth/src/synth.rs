@@ -102,6 +102,7 @@ pub struct SynthResult {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn synthesize(module: &Module, options: &SynthOptions) -> Result<SynthResult, SynthError> {
+    let mut obs = moss_obs::span("synth");
     // Validate drivers/cycles once via the interpreter's checks.
     moss_rtl::Interpreter::new(module)?;
 
@@ -218,6 +219,8 @@ pub fn synthesize(module: &Module, options: &SynthOptions) -> Result<SynthResult
     }
 
     debug_assert!(netlist.validate().is_ok());
+    obs.add_items(netlist.cell_count() as u64);
+    moss_obs::counter("synth.cells", netlist.cell_count() as u64);
     Ok(SynthResult {
         netlist,
         dffs: bindings,

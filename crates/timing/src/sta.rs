@@ -26,6 +26,7 @@ impl TimingReport {
     ///
     /// Returns an error if the netlist is invalid or combinationally cyclic.
     pub fn analyze(netlist: &Netlist, lib: &CellLibrary) -> Result<TimingReport, NetlistError> {
+        let _obs = moss_obs::span_items("timing", netlist.node_count() as u64);
         let levels = Levelization::of(netlist)?;
         let n = netlist.node_count();
 

@@ -1,3 +1,332 @@
-fn main() {
-    println!("xtask: no tasks defined; see crates/bench for experiment binaries");
+//! Workspace tasks. `cargo xtask bench-check` is the perf-regression gate:
+//! it runs the kernels and sim bench suites with quick budgets
+//! (`MOSS_BENCH_QUICK=1`), redirects their reports under `target/` via
+//! `MOSS_BENCH_OUT`, and compares each benchmark's `mean_ns` against the
+//! committed `BENCH_kernels.json` / `BENCH_sim.json` baselines, failing if
+//! any benchmark slowed beyond the tolerance.
+//!
+//! Tolerance is a fraction of the baseline: `--tolerance 0.5` (or
+//! `MOSS_BENCH_TOLERANCE=0.5`; default 0.75) fails a benchmark that is
+//! more than 1.5× its baseline mean. CI uses a looser tolerance because its
+//! runners differ from the machine the baselines were recorded on — the
+//! gate exists to catch order-of-magnitude regressions before they merge,
+//! not percent-level drift.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+const SUITES: &[&str] = &["kernels", "sim"];
+// Quick-budget runs are noisy (the naive large matmul swings ±30% on a
+// busy host); the default tolerance is wide enough to absorb that while
+// still catching real (2x+) regressions. CI overrides it looser still via
+// MOSS_BENCH_TOLERANCE because its runners differ from the baseline
+// machine.
+const DEFAULT_TOLERANCE: f64 = 0.75;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench-check") => bench_check(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("tasks:");
+    eprintln!("  bench-check [--tolerance FRACTION]   compare a fresh quick bench run");
+    eprintln!("                                       against the committed BENCH_*.json");
+    eprintln!("                                       baselines; fail on regression");
+    eprintln!("(experiment binaries live in crates/bench)");
+}
+
+fn bench_check(args: &[String]) -> ExitCode {
+    let tolerance = match parse_tolerance(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bench-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = workspace_root();
+    let scratch = root.join("target").join("bench-check");
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!(
+            "xtask bench-check: cannot create {}: {e}",
+            scratch.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for suite in SUITES {
+        let baseline_path = root.join(format!("BENCH_{suite}.json"));
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "xtask bench-check: missing baseline {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+
+        let fresh_path = scratch.join(format!("BENCH_{suite}.json"));
+        eprintln!("# bench-check: running quick `{suite}` suite…");
+        let status = Command::new(env!("CARGO"))
+            .args(["bench", "-p", "moss-bench", "--bench", suite])
+            .current_dir(&root)
+            .env("MOSS_BENCH_QUICK", "1")
+            .env("MOSS_BENCH_OUT", &fresh_path)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("xtask bench-check: `cargo bench --bench {suite}` failed: {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("xtask bench-check: cannot spawn cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let fresh = match std::fs::read_to_string(&fresh_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "xtask bench-check: bench wrote no report at {}: {e}",
+                    fresh_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+
+        let report = compare(&parse_bench(&baseline), &parse_bench(&fresh), tolerance);
+        print!("{}", render(suite, &report, tolerance));
+        failures += report.iter().filter(|r| r.regressed()).count();
+    }
+
+    if failures > 0 {
+        eprintln!("xtask bench-check: FAIL — {failures} benchmark(s) regressed beyond tolerance");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask bench-check: OK — no regressions beyond tolerance");
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_tolerance(args: &[String]) -> Result<f64, String> {
+    let mut tolerance: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--tolerance needs a value".to_string())?;
+                tolerance = Some(
+                    v.parse::<f64>()
+                        .map_err(|_| format!("bad tolerance `{v}`"))?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if tolerance.is_none() {
+        if let Ok(v) = std::env::var("MOSS_BENCH_TOLERANCE") {
+            tolerance = Some(
+                v.parse::<f64>()
+                    .map_err(|_| format!("bad MOSS_BENCH_TOLERANCE `{v}`"))?,
+            );
+        }
+    }
+    let t = tolerance.unwrap_or(DEFAULT_TOLERANCE);
+    if t.is_finite() && t >= 0.0 {
+        Ok(t)
+    } else {
+        Err(format!(
+            "tolerance must be a non-negative fraction, got {t}"
+        ))
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level under the workspace root")
+        .to_path_buf()
+}
+
+/// One benchmark's baseline-vs-fresh comparison.
+#[derive(Debug, Clone, PartialEq)]
+struct Comparison {
+    name: String,
+    baseline_ns: f64,
+    /// `None` when the benchmark disappeared from the fresh run.
+    fresh_ns: Option<f64>,
+    /// `fresh / baseline`; > 1 means slower than baseline.
+    ratio: Option<f64>,
+    over_tolerance: bool,
+}
+
+impl Comparison {
+    fn regressed(&self) -> bool {
+        self.over_tolerance || self.fresh_ns.is_none()
+    }
+}
+
+/// Compares every baseline benchmark against the fresh run. A benchmark
+/// missing from the fresh run counts as a regression (a rename must update
+/// the baseline in the same change); extra fresh benchmarks are ignored
+/// (they have no baseline yet).
+fn compare(baseline: &[(String, f64)], fresh: &[(String, f64)], tolerance: f64) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .map(|(name, base_ns)| {
+            let fresh_ns = fresh.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+            let ratio = fresh_ns.map(|f| f / base_ns.max(f64::MIN_POSITIVE));
+            Comparison {
+                name: name.clone(),
+                baseline_ns: *base_ns,
+                fresh_ns,
+                ratio,
+                over_tolerance: ratio.is_some_and(|r| r > 1.0 + tolerance),
+            }
+        })
+        .collect()
+}
+
+fn render(suite: &str, report: &[Comparison], tolerance: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\nbench-check `{suite}` (tolerance +{:.0}%)\n",
+        tolerance * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<40} {:>14} {:>14} {:>8}  status\n",
+        "benchmark", "baseline ns", "fresh ns", "ratio"
+    ));
+    for c in report {
+        let (fresh, ratio, status) = match (c.fresh_ns, c.ratio) {
+            (Some(f), Some(r)) => (
+                format!("{f:.0}"),
+                format!("{r:.2}x"),
+                if c.over_tolerance { "REGRESSED" } else { "ok" },
+            ),
+            _ => ("-".to_string(), "-".to_string(), "MISSING"),
+        };
+        out.push_str(&format!(
+            "{:<40} {:>14.0} {:>14} {:>8}  {status}\n",
+            c.name, c.baseline_ns, fresh, ratio
+        ));
+    }
+    out
+}
+
+/// Extracts `(name, mean_ns)` pairs from a `moss-benchkit` JSON report.
+/// The format is machine-written and flat, so a hand-rolled scan (no JSON
+/// dependency) is sufficient: each result object carries `"name"` then
+/// `"mean_ns"`.
+fn parse_bench(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        rest = &rest[pos + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        rest = &rest[end..];
+        let Some(mpos) = rest.find("\"mean_ns\": ") else {
+            continue;
+        };
+        let tail = &rest[mpos + "\"mean_ns\": ".len()..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "kernels",
+  "results": [
+    {"name": "matmul/naive/256x16x16", "iters": 100, "mean_ns": 1000.0, "min_batch_ns": 900.0, "gflops": 0.1},
+    {"name": "matmul/parallel/256x16x16", "iters": 400, "mean_ns": 250.0, "min_batch_ns": 240.0, "items_per_sec": 123.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_benchkit_reports() {
+        let parsed = parse_bench(SAMPLE);
+        assert_eq!(
+            parsed,
+            vec![
+                ("matmul/naive/256x16x16".to_string(), 1000.0),
+                ("matmul/parallel/256x16x16".to_string(), 250.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = vec![("a".to_string(), 100.0)];
+        let fresh = vec![("a".to_string(), 140.0)];
+        let r = compare(&base, &fresh, 0.5);
+        assert!(!r[0].regressed());
+        assert!((r[0].ratio.unwrap() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = vec![("a".to_string(), 100.0), ("b".to_string(), 100.0)];
+        let fresh = vec![("a".to_string(), 151.0), ("b".to_string(), 99.0)];
+        let r = compare(&base, &fresh, 0.5);
+        assert!(r[0].regressed(), "51% over on a +50% tolerance must fail");
+        assert!(!r[1].regressed(), "faster than baseline passes");
+    }
+
+    #[test]
+    fn missing_benchmark_counts_as_regression() {
+        let base = vec![("gone".to_string(), 100.0)];
+        let r = compare(&base, &[], 0.5);
+        assert!(r[0].regressed());
+        assert!(r[0].fresh_ns.is_none());
+    }
+
+    #[test]
+    fn extra_fresh_benchmarks_are_ignored() {
+        let base = vec![("a".to_string(), 100.0)];
+        let fresh = vec![("a".to_string(), 100.0), ("new".to_string(), 5.0)];
+        let r = compare(&base, &fresh, 0.5);
+        assert_eq!(r.len(), 1);
+        assert!(!r[0].regressed());
+    }
+
+    #[test]
+    fn render_marks_status() {
+        let base = vec![("a".to_string(), 100.0), ("b".to_string(), 100.0)];
+        let fresh = vec![("a".to_string(), 400.0), ("b".to_string(), 100.0)];
+        let r = compare(&base, &fresh, 0.5);
+        let table = render("kernels", &r, 0.5);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("ok"));
+        assert!(table.contains("4.00x"));
+    }
 }

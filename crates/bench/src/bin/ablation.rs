@@ -5,15 +5,21 @@
 //!
 //! Usage: `cargo run -p moss-bench --bin ablation --release [-- --tiny|--quick|--full]`
 
+use std::process::ExitCode;
+
 use moss::{metrics, CircuitSample, MossConfig, MossModel, MossVariant, TrainConfig, Trainer};
 use moss_bench::pipeline::{build_samples, build_world, World};
+use moss_bench::run::{PipelineError, RunManifest};
 
+/// Trains one tweaked configuration and returns its train-set accuracy row,
+/// or `None` when every sample was skipped at preparation.
 fn run_config(
     world: &World,
     samples: &[CircuitSample],
     label: &str,
+    manifest: &mut RunManifest,
     tweak: impl Fn(&mut MossConfig),
-) -> (String, f64, f64, f64) {
+) -> Result<Option<(String, f64, f64, f64)>, PipelineError> {
     let mut store = world.store.clone();
     let mut config = MossConfig {
         d_hidden: world.config.d_hidden,
@@ -22,20 +28,26 @@ fn run_config(
     };
     tweak(&mut config);
     let model = MossModel::new(config, &mut store, world.config.seed ^ 0xab1a);
-    let preps: Vec<_> = samples
-        .iter()
-        .map(|s| {
-            model
-                .prepare(
-                    s,
-                    &world.encoder,
-                    &store,
-                    &world.lib,
-                    world.config.clock_mhz,
-                )
-                .expect("prepares")
-        })
-        .collect();
+    let mut preps = Vec::with_capacity(samples.len());
+    for s in samples {
+        match model.prepare(
+            s,
+            &world.encoder,
+            &store,
+            &world.lib,
+            world.config.clock_mhz,
+        ) {
+            Ok(p) => {
+                manifest.record_success();
+                preps.push(p);
+            }
+            Err(e) => manifest.record_skip(s.name.clone(), "prepare", e.into()),
+        }
+    }
+    manifest.check_budget()?;
+    if preps.is_empty() {
+        return Ok(None);
+    }
     let mut trainer = Trainer::new(TrainConfig {
         align_epochs: 0,
         ..world.config.train
@@ -48,11 +60,24 @@ fn run_config(
         trp += metrics::trp_accuracy(&pred, p) * 100.0 / preps.len() as f64;
         pp += metrics::pp_accuracy(&pred, p) * 100.0 / preps.len() as f64;
     }
-    (label.to_owned(), atp, trp, pp)
+    Ok(Some((label.to_owned(), atp, trp, pp)))
 }
 
-fn main() {
+fn main() -> ExitCode {
     let _obs = moss_obs::session();
+    let mut manifest = RunManifest::new("ablation");
+    let result = real_main(&mut manifest);
+    manifest.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("moss: ablation aborted: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(manifest: &mut RunManifest) -> Result<(), PipelineError> {
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);
@@ -65,36 +90,50 @@ fn main() {
         moss_datagen::uart_tx(8),
         moss_datagen::alu(8),
     ];
-    let samples = build_samples(&world, &modules);
+    let samples = build_samples(&world, &modules, manifest)?;
 
     let mut rows = Vec::new();
     eprintln!("# iterations sweep…");
     for iters in [1usize, 2, 4, 8] {
-        rows.push(run_config(
+        rows.extend(run_config(
             &world,
             &samples,
             &format!("iterations={iters}"),
+            manifest,
             |c| {
                 c.iterations = iters;
             },
-        ));
+        )?);
     }
     eprintln!("# hidden-width sweep…");
     for d in [8usize, 16, 32] {
-        rows.push(run_config(
+        rows.extend(run_config(
             &world,
             &samples,
             &format!("d_hidden={d}"),
+            manifest,
             |c| {
                 c.d_hidden = d;
             },
-        ));
+        )?);
     }
     eprintln!("# propagation-phase ablation…");
-    rows.push(run_config(&world, &samples, "two_phase=on", |_| {}));
-    rows.push(run_config(&world, &samples, "two_phase=off", |c| {
-        c.two_phase = false;
-    }));
+    rows.extend(run_config(
+        &world,
+        &samples,
+        "two_phase=on",
+        manifest,
+        |_| {},
+    )?);
+    rows.extend(run_config(
+        &world,
+        &samples,
+        "two_phase=off",
+        manifest,
+        |c| {
+            c.two_phase = false;
+        },
+    )?);
 
     println!(
         "\nAblation — design-choice accuracy (train-set fit, {} circuits)",
@@ -108,4 +147,5 @@ fn main() {
         println!("{label:<18} {atp:>8.1} {trp:>8.1} {pp:>8.1}");
     }
     println!("\nexpected shape: accuracy rises with propagation iterations (the paper\nrepeats the two-phase process 'e.g. 10' times) and with hidden width, and\ndrops without the turnaround phase (sequential feedback unmodeled).");
+    Ok(())
 }

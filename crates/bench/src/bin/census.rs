@@ -1,10 +1,28 @@
 //! Prints the synthesized cell counts of the Table I benchmark suite.
 
-fn main() {
+use std::process::ExitCode;
+
+use moss_bench::run::RunManifest;
+
+fn main() -> ExitCode {
     let _obs = moss_obs::session();
+    let mut manifest = RunManifest::new("census");
     println!("{:<20} {:>8} {:>6}   paper", "circuit", "cells", "dffs");
     let paper = [278, 610, 643, 731, 812, 1306, 1364, 4144];
-    for ((name, cells, dffs), p) in moss_bench::pipeline::suite_census().into_iter().zip(paper) {
-        println!("{name:<20} {cells:>8} {dffs:>6}   {p}");
+    let census = moss_bench::pipeline::suite_census(&mut manifest);
+    for ((name, counts), p) in census.into_iter().zip(paper) {
+        match counts {
+            Some((cells, dffs)) => println!("{name:<20} {cells:>8} {dffs:>6}   {p}"),
+            None => println!("{name:<20} {:>8} {:>6}   {p}", "-", "-"),
+        }
+    }
+    let budget = manifest.check_budget();
+    manifest.finish();
+    match budget {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("moss: census aborted: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -10,13 +10,29 @@
 //!
 //! Usage: `cargo run -p moss-bench --bin fig1a --release [-- --tiny|--quick|--full]`
 
+use std::process::ExitCode;
+
 use moss::MossVariant;
 use moss_bench::pipeline::{build_samples, build_world, score, train_baseline, train_variant};
+use moss_bench::run::{PipelineError, RunManifest};
 use moss_datagen::{pipeline_reg, signed_mac};
 use moss_rtl::Module;
 
-fn main() {
+fn main() -> ExitCode {
     let _obs = moss_obs::session();
+    let mut manifest = RunManifest::new("fig1a");
+    let result = real_main(&mut manifest);
+    manifest.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("moss: fig1a aborted: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(manifest: &mut RunManifest) -> Result<(), PipelineError> {
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);
@@ -31,11 +47,11 @@ fn main() {
         signed_mac(6, 8),
     ];
     eprintln!("# building training ground truth…");
-    let train_samples = build_samples(&world, &train_modules);
+    let train_samples = build_samples(&world, &train_modules, manifest)?;
     eprintln!("# training DeepSeq2-style baseline on small circuits…");
-    let baseline = train_baseline(&world, &train_samples);
+    let baseline = train_baseline(&world, &train_samples, manifest)?;
     eprintln!("# training full MOSS on the same circuits…");
-    let moss_run = train_variant(&world, MossVariant::Full, &train_samples);
+    let moss_run = train_variant(&world, MossVariant::Full, &train_samples, manifest)?;
 
     // Evaluation sweep: pipeline/mac families scaled up to ~5000 cells.
     let sweep: Vec<Module> = vec![
@@ -50,7 +66,7 @@ fn main() {
         signed_mac(20, 32),
     ];
     eprintln!("# building sweep ground truth…");
-    let sweep_samples = build_samples(&world, &sweep);
+    let sweep_samples = build_samples(&world, &sweep, manifest)?;
 
     println!("\nFig. 1(a) — error rate vs circuit size (reproduced; error % = 100 − accuracy)");
     println!(
@@ -59,27 +75,31 @@ fn main() {
     );
     let mut rows = Vec::new();
     for sample in &sweep_samples {
-        let prep_b = baseline
-            .model
-            .prepare(
-                sample,
-                &world.encoder,
-                &baseline.store,
-                &world.lib,
-                config.clock_mhz,
-            )
-            .expect("sweep prepares");
+        // Both models must prepare the sweep point; a failure in either
+        // skips the whole row (half a row would misread as a flat curve).
+        let prep_b = baseline.model.prepare(
+            sample,
+            &world.encoder,
+            &baseline.store,
+            &world.lib,
+            config.clock_mhz,
+        );
+        let prep_m = moss_run.model.prepare(
+            sample,
+            &world.encoder,
+            &moss_run.store,
+            &world.lib,
+            config.clock_mhz,
+        );
+        let (prep_b, prep_m) = match (prep_b, prep_m) {
+            (Ok(b), Ok(m)) => (b, m),
+            (Err(e), _) | (_, Err(e)) => {
+                manifest.record_skip(sample.name.clone(), "prepare", e.into());
+                continue;
+            }
+        };
+        manifest.record_success();
         let s_b = score(&baseline.model.predict(&baseline.store, &prep_b), &prep_b);
-        let prep_m = moss_run
-            .model
-            .prepare(
-                sample,
-                &world.encoder,
-                &moss_run.store,
-                &world.lib,
-                config.clock_mhz,
-            )
-            .expect("sweep prepares");
         let s_m = score(&moss_run.model.predict(&moss_run.store, &prep_m), &prep_m);
         rows.push((
             sample.cell_count(),
@@ -89,9 +109,11 @@ fn main() {
             100.0 - s_m.atp,
         ));
     }
+    manifest.check_budget()?;
     rows.sort_by_key(|r| r.0);
     for (cells, dt, da, mt, ma) in rows {
         println!("{cells:>8} {dt:>18.1} {da:>18.1} {mt:>14.1} {ma:>14.1}");
     }
     println!("\npaper shape: baseline error grows with size (>40% at 2,000 gates); MOSS stays low");
+    Ok(())
 }

@@ -3,21 +3,37 @@
 //!
 //! Usage: `cargo run -p moss-bench --bin fig7 --release [-- --tiny|--quick|--full]`
 
+use std::process::ExitCode;
+
 use moss::MossVariant;
 use moss_bench::pipeline::{build_samples, build_world, train_variant};
+use moss_bench::run::{PipelineError, RunManifest};
 
-fn main() {
+fn main() -> ExitCode {
     let _obs = moss_obs::session();
+    let mut manifest = RunManifest::new("fig7");
+    let result = real_main(&mut manifest);
+    manifest.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("moss: fig7 aborted: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(manifest: &mut RunManifest) -> Result<(), PipelineError> {
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);
     eprintln!("# building ground truth…");
-    let samples = build_samples(&world, &moss_datagen::benchmark_suite());
+    let samples = build_samples(&world, &moss_datagen::benchmark_suite(), manifest)?;
     eprintln!(
         "# pre-training full MOSS ({} epochs)…",
         config.train.pretrain_epochs
     );
-    let run = train_variant(&world, MossVariant::Full, &samples);
+    let run = train_variant(&world, MossVariant::Full, &samples, manifest)?;
 
     println!("\nFig. 7 — losses in the pre-training section (reproduced)");
     println!(
@@ -35,16 +51,18 @@ fn main() {
             h.power
         );
     }
-    let first = run.pretrain.first().expect("≥1 epoch");
-    let last = run.pretrain.last().expect("≥1 epoch");
-    println!(
-        "\ntotal {:.4} → {:.4} ({}); paper shape: all components decrease steadily",
-        first.total,
-        last.total,
-        if last.total < first.total {
-            "decreasing ✓"
-        } else {
-            "NOT decreasing ✗"
-        },
-    );
+    match (run.pretrain.first(), run.pretrain.last()) {
+        (Some(first), Some(last)) => println!(
+            "\ntotal {:.4} → {:.4} ({}); paper shape: all components decrease steadily",
+            first.total,
+            last.total,
+            if last.total < first.total {
+                "decreasing ✓"
+            } else {
+                "NOT decreasing ✗"
+            },
+        ),
+        _ => eprintln!("moss: fig7: no pre-training epochs ran (all circuits skipped?)"),
+    }
+    Ok(())
 }

@@ -4,21 +4,37 @@
 //!
 //! Usage: `cargo run -p moss-bench --bin fig8 --release [-- --tiny|--quick|--full]`
 
+use std::process::ExitCode;
+
 use moss::MossVariant;
 use moss_bench::pipeline::{build_samples, build_world, train_variant};
+use moss_bench::run::{PipelineError, RunManifest};
 
-fn main() {
+fn main() -> ExitCode {
     let _obs = moss_obs::session();
+    let mut manifest = RunManifest::new("fig8");
+    let result = real_main(&mut manifest);
+    manifest.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("moss: fig8 aborted: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(manifest: &mut RunManifest) -> Result<(), PipelineError> {
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);
     eprintln!("# building ground truth…");
-    let samples = build_samples(&world, &moss_datagen::benchmark_suite());
+    let samples = build_samples(&world, &moss_datagen::benchmark_suite(), manifest)?;
     eprintln!(
         "# training full MOSS (pretrain {} + align {} epochs)…",
         config.train.pretrain_epochs, config.train.align_epochs
     );
-    let run = train_variant(&world, MossVariant::Full, &samples);
+    let run = train_variant(&world, MossVariant::Full, &samples, manifest)?;
 
     println!("\nFig. 8 — global losses in the multimodal alignment section (reproduced)");
     println!(
@@ -35,10 +51,12 @@ fn main() {
             h.rrndm
         );
     }
-    let first = run.align.first().expect("alignment ran");
-    let last = run.align.last().expect("alignment ran");
-    println!(
-        "\nrnc {:.4} → {:.4}; rnm {:.4} → {:.4}; paper shape: total stabilizes, RNM → ~0.002",
-        first.rnc, last.rnc, first.rnm, last.rnm
-    );
+    match (run.align.first(), run.align.last()) {
+        (Some(first), Some(last)) => println!(
+            "\nrnc {:.4} → {:.4}; rnm {:.4} → {:.4}; paper shape: total stabilizes, RNM → ~0.002",
+            first.rnc, last.rnc, first.rnm, last.rnm
+        ),
+        _ => eprintln!("moss: fig8: no alignment epochs ran (all circuits skipped?)"),
+    }
+    Ok(())
 }

@@ -3,14 +3,30 @@
 //!
 //! Usage: `cargo run -p moss-bench --bin table1 --release [-- --tiny|--quick|--full]`
 
+use std::process::ExitCode;
+
 use moss::MossVariant;
 use moss_bench::pipeline::{
     averages, build_samples_variant, build_world, evaluate_baseline_on, evaluate_variant_on,
-    prepare_for, prepare_for_baseline, train_baseline, train_variant,
+    prepare_for, prepare_for_baseline, train_baseline, train_variant, CircuitScores,
 };
+use moss_bench::run::{PipelineError, RunManifest};
 
-fn main() {
+fn main() -> ExitCode {
     let _obs = moss_obs::session();
+    let mut manifest = RunManifest::new("table1");
+    let result = real_main(&mut manifest);
+    manifest.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("moss: table1 aborted: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(manifest: &mut RunManifest) -> Result<(), PipelineError> {
     let config = moss_bench::config_from_args();
     eprintln!(
         "# building world (encoder fine-tune, {} corpus designs)…",
@@ -46,27 +62,29 @@ fn main() {
         ));
     }
     let modules = moss_datagen::benchmark_suite();
-    let train_samples = build_samples_variant(&world, &train_modules, 0);
-    let eval_samples = build_samples_variant(&world, &modules, 0);
+    let train_samples = build_samples_variant(&world, &train_modules, 0, manifest)?;
+    let eval_samples = build_samples_variant(&world, &modules, 0, manifest)?;
     let cells: Vec<usize> = eval_samples.iter().map(|s| s.cell_count()).collect();
 
     eprintln!("# training DeepSeq2 baseline…");
-    let baseline = train_baseline(&world, &train_samples);
-    let eval_preps_b = prepare_for_baseline(&world, &baseline, &eval_samples);
+    let baseline = train_baseline(&world, &train_samples, manifest)?;
+    let eval_preps_b = prepare_for_baseline(&world, &baseline, &eval_samples, manifest)?;
     let ds2 = evaluate_baseline_on(&baseline, &eval_preps_b);
 
     let mut columns = vec![("DeepSeq2".to_owned(), ds2)];
     for variant in MossVariant::ALL {
         eprintln!("# training {}…", variant.label());
-        let run = train_variant(&world, variant, &train_samples);
-        let eval_preps = prepare_for(&world, &run, &eval_samples);
+        let run = train_variant(&world, variant, &train_samples, manifest)?;
+        let eval_preps = prepare_for(&world, &run, &eval_samples, manifest)?;
         columns.push((
             variant.label().to_owned(),
             evaluate_variant_on(&run, &eval_preps),
         ));
     }
 
-    // Render the table.
+    // Render the table. Scores are looked up by circuit name: a circuit
+    // skipped at the prepare stage for one column still renders for the
+    // others, with dashes in the gap.
     println!("\nTable I — Performance Comparison of MOSS Framework Variants (reproduced)");
     print!("{:<18} {:>6}", "Circuit", "#Cells");
     for (name, _) in &columns {
@@ -81,16 +99,24 @@ fn main() {
     for (i, sample) in eval_samples.iter().enumerate() {
         print!("{:<18} {:>6}", sample.name, cells[i]);
         for (_, scores) in &columns {
-            let s = &scores[i];
-            print!(" | {:>6.1} {:>6.1} {:>6.1}", s.atp, s.trp, s.pp);
+            match scores
+                .iter()
+                .find(|s: &&CircuitScores| s.name == sample.name)
+            {
+                Some(s) => print!(" | {:>6.1} {:>6.1} {:>6.1}", s.atp, s.trp, s.pp),
+                None => print!(" | {:>6} {:>6} {:>6}", "-", "-", "-"),
+            }
         }
         println!();
     }
     print!("{:<18} {:>6}", "Average", "-");
     for (_, scores) in &columns {
-        let (atp, trp, pp) = averages(scores);
-        print!(" | {atp:>6.1} {trp:>6.1} {pp:>6.1}");
+        match averages(scores) {
+            Some((atp, trp, pp)) => print!(" | {atp:>6.1} {trp:>6.1} {pp:>6.1}"),
+            None => print!(" | {:>6} {:>6} {:>6}", "-", "-", "-"),
+        }
     }
     println!();
     println!("\npaper averages: DeepSeq2 79.1/76.4/88.4 | w/o FAA 45.6/57.1/75.1 | w/o AA 80.3/81.0/90.7 | w/o A 94.9/87.0/95.1 | MOSS 95.2/87.5/96.3");
+    Ok(())
 }

@@ -8,12 +8,28 @@
 //!
 //! Usage: `cargo run -p moss-bench --bin table2 --release [-- --tiny|--quick|--full]`
 
+use std::process::ExitCode;
+
 use moss::{MossVariant, Prepared};
 use moss_bench::pipeline::{build_world, fep_of, train_variant};
+use moss_bench::run::{PipelineError, RunManifest};
 use moss_datagen::{random_module, SizeClass};
 
-fn main() {
+fn main() -> ExitCode {
     let _obs = moss_obs::session();
+    let mut manifest = RunManifest::new("table2");
+    let result = real_main(&mut manifest);
+    manifest.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("moss: table2 aborted: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(manifest: &mut RunManifest) -> Result<(), PipelineError> {
     let config = moss_bench::config_from_args();
     eprintln!("# building world…");
     let world = build_world(config);
@@ -32,12 +48,14 @@ fn main() {
         "# building training ground truth ({} designs × 2 mappings)…",
         train_modules.len()
     );
-    let mut train_samples = moss_bench::pipeline::build_samples_variant(&world, &train_modules, 0);
+    let mut train_samples =
+        moss_bench::pipeline::build_samples_variant(&world, &train_modules, 0, manifest)?;
     train_samples.extend(moss_bench::pipeline::build_samples_variant(
         &world,
         &train_modules,
         1,
-    ));
+        manifest,
+    )?);
 
     // Six evaluation groups. Each group pairs known RTL with *unseen
     // synthesis mappings* (variants 2–7 never appear in training): the
@@ -70,36 +88,60 @@ fn main() {
         "{:<15} {:>12} {:>12} {:>12} {:>12}",
         "Circuit", "w/o FAA", "w/o AA", "w/o A", "MOSS"
     );
-    let mut rows: Vec<[f64; 4]> = vec![[0.0; 4]; 6];
+    // `None` cells mark groups that degraded to empty (all circuits
+    // skipped) — rendered as dashes, excluded from the column average.
+    let mut rows: Vec<[Option<f64>; 4]> = vec![[None; 4]; 6];
     for (vi, variant) in MossVariant::ALL.iter().enumerate() {
         eprintln!("# training {} for FEP…", variant.label());
-        let run = train_variant(&world, *variant, &train_samples);
+        let run = train_variant(&world, *variant, &train_samples, manifest)?;
         for (gi, (group, mapping)) in groups.iter().enumerate() {
-            let samples = moss_bench::pipeline::build_samples_variant(&world, group, *mapping);
-            let preps: Vec<Prepared> = samples
-                .iter()
-                .map(|s| {
-                    run.model
-                        .prepare(s, &world.encoder, &run.store, &world.lib, config.clock_mhz)
-                        .expect("group prepares")
-                })
-                .collect();
+            let samples =
+                moss_bench::pipeline::build_samples_variant(&world, group, *mapping, manifest)?;
+            let mut preps: Vec<Prepared> = Vec::with_capacity(samples.len());
+            for s in &samples {
+                match run
+                    .model
+                    .prepare(s, &world.encoder, &run.store, &world.lib, config.clock_mhz)
+                {
+                    Ok(p) => {
+                        manifest.record_success();
+                        preps.push(p);
+                    }
+                    Err(e) => manifest.record_skip(s.name.clone(), "prepare", e.into()),
+                }
+            }
+            manifest.check_budget()?;
             rows[gi][vi] = fep_of(&world, &run, &preps);
         }
     }
+    // Column averages over the groups that produced a score, accumulated
+    // in group order (matches the fixed-six-group arithmetic exactly when
+    // nothing was skipped).
+    let counts: [usize; 4] =
+        std::array::from_fn(|v| rows.iter().filter(|r| r[v].is_some()).count());
     let mut avg = [0.0f64; 4];
     for (gi, name) in group_names.iter().enumerate() {
-        println!(
-            "{:<15} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
-            name, rows[gi][0], rows[gi][1], rows[gi][2], rows[gi][3]
-        );
+        print!("{name:<15}");
         for v in 0..4 {
-            avg[v] += rows[gi][v] / 6.0;
+            match rows[gi][v] {
+                Some(x) => {
+                    print!(" {x:>12.1}");
+                    avg[v] += x / counts[v] as f64;
+                }
+                None => print!(" {:>12}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("{:<15}", "Average");
+    for (v, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            print!(" {:>12.1}", avg[v]);
+        } else {
+            print!(" {:>12}", "-");
         }
     }
-    println!(
-        "{:<15} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
-        "Average", avg[0], avg[1], avg[2], avg[3]
-    );
+    println!();
     println!("\npaper averages: w/o FAA 8.5 | w/o AA 19.9 | w/o A 26.6 | MOSS 93.7");
+    Ok(())
 }

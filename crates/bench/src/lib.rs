@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod run;
 
 use pipeline::ExperimentConfig;
 

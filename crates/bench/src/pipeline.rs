@@ -7,6 +7,13 @@
 //! are independent across samples, so they fan out through
 //! [`moss_tensor::par_map`]: deterministic ordered results, thread count
 //! from `MOSS_THREADS`.
+//!
+//! Every fallible per-circuit stage degrades per circuit instead of
+//! panicking: a failing circuit is skipped, recorded in the
+//! [`RunManifest`](crate::run::RunManifest), and excluded from averages;
+//! the manifest's failure budget (`MOSS_MAX_FAILED_FRAC`) aborts runs that
+//! degrade too far. With no failures (the fault sites disabled and no
+//! organic bugs) results are identical to the old panicking pipeline.
 
 use moss::{
     metrics, AlignEpoch, CircuitSample, DeepSeq2, DeepSeq2Config, MossConfig, MossModel,
@@ -16,6 +23,8 @@ use moss_llm::{EncoderConfig, FineTuneConfig, FineTuner, TextEncoder};
 use moss_netlist::CellLibrary;
 use moss_rtl::Module;
 use moss_tensor::ParamStore;
+
+use crate::run::{PipelineError, RunManifest};
 
 /// Experiment-scale configuration.
 #[derive(Debug, Clone, Copy)]
@@ -142,63 +151,146 @@ pub fn build_world(config: ExperimentConfig) -> World {
 
 /// Builds ground-truth samples with a specific synthesis mapping variant,
 /// enabling train-on-one-mapping / evaluate-on-another protocols (the
-/// paper generates several distinct circuits per RTL, §V-A).
+/// paper generates several distinct circuits per RTL, §V-A). Circuits that
+/// fail synthesis or labeling are skipped and recorded in `manifest`.
+///
+/// # Errors
+///
+/// [`PipelineError::BudgetExceeded`] when the skips push the run over its
+/// failure budget.
 pub fn build_samples_variant(
     world: &World,
     modules: &[Module],
     synth_seed: u64,
-) -> Vec<CircuitSample> {
+    manifest: &mut RunManifest,
+) -> Result<Vec<CircuitSample>, PipelineError> {
     let _obs = moss_obs::span_items("build_samples", modules.len() as u64);
-    moss_tensor::par_map(modules, |i, m| {
-        CircuitSample::build(
-            m,
-            &world.lib,
-            &SampleOptions {
-                synth: moss_synth::SynthOptions::variant(synth_seed),
-                sim_cycles: world.config.sim_cycles,
-                seed: world.config.seed ^ ((i as u64) << 8) ^ (synth_seed << 40),
-                clock_mhz: world.config.clock_mhz,
-            },
+    let results = moss_tensor::par_map(modules, |i, m| {
+        (
+            m.name().to_owned(),
+            CircuitSample::build(
+                m,
+                &world.lib,
+                &SampleOptions {
+                    synth: moss_synth::SynthOptions::variant(synth_seed),
+                    sim_cycles: world.config.sim_cycles,
+                    seed: world.config.seed ^ ((i as u64) << 8) ^ (synth_seed << 40),
+                    clock_mhz: world.config.clock_mhz,
+                },
+            ),
         )
-        .expect("benchmark modules synthesize")
-    })
+    });
+    collect_stage(results, "build", manifest)
+}
+
+/// Builds ground-truth samples for a set of modules. Circuits that fail
+/// synthesis or labeling are skipped and recorded in `manifest`.
+///
+/// # Errors
+///
+/// [`PipelineError::BudgetExceeded`] when the skips push the run over its
+/// failure budget.
+pub fn build_samples(
+    world: &World,
+    modules: &[Module],
+    manifest: &mut RunManifest,
+) -> Result<Vec<CircuitSample>, PipelineError> {
+    let _obs = moss_obs::span_items("build_samples", modules.len() as u64);
+    let results = moss_tensor::par_map(modules, |i, m| {
+        (
+            m.name().to_owned(),
+            CircuitSample::build(
+                m,
+                &world.lib,
+                &SampleOptions {
+                    sim_cycles: world.config.sim_cycles,
+                    seed: world.config.seed ^ ((i as u64) << 8),
+                    clock_mhz: world.config.clock_mhz,
+                    ..SampleOptions::default()
+                },
+            ),
+        )
+    });
+    collect_stage(results, "build", manifest)
+}
+
+/// Partitions per-circuit stage results into survivors and manifest skips,
+/// then enforces the failure budget.
+fn collect_stage<T, E: Into<crate::run::StageError>>(
+    results: Vec<(String, Result<T, E>)>,
+    stage: &'static str,
+    manifest: &mut RunManifest,
+) -> Result<Vec<T>, PipelineError> {
+    let mut out = Vec::with_capacity(results.len());
+    for (name, r) in results {
+        match r {
+            Ok(v) => {
+                manifest.record_success();
+                out.push(v);
+            }
+            Err(e) => manifest.record_skip(name, stage, e.into()),
+        }
+    }
+    manifest.check_budget()?;
+    Ok(out)
 }
 
 /// Prepares additional (e.g. held-out) samples for an already-trained
-/// variant run.
-pub fn prepare_for(world: &World, run: &VariantRun, samples: &[CircuitSample]) -> Vec<Prepared> {
+/// variant run. Samples that fail preparation are skipped and recorded.
+///
+/// # Errors
+///
+/// [`PipelineError::BudgetExceeded`] when the skips push the run over its
+/// failure budget.
+pub fn prepare_for(
+    world: &World,
+    run: &VariantRun,
+    samples: &[CircuitSample],
+    manifest: &mut RunManifest,
+) -> Result<Vec<Prepared>, PipelineError> {
     let _obs = moss_obs::span_items("prepare_heldout", samples.len() as u64);
-    moss_tensor::par_map(samples, |_, s| {
-        run.model
-            .prepare(
+    let results = moss_tensor::par_map(samples, |_, s| {
+        (
+            s.name.clone(),
+            run.model.prepare(
                 s,
                 &world.encoder,
                 &run.feature_store,
                 &world.lib,
                 world.config.clock_mhz,
-            )
-            .expect("samples prepare")
-    })
+            ),
+        )
+    });
+    collect_stage(results, "prepare", manifest)
 }
 
-/// Prepares held-out samples for a trained baseline.
+/// Prepares held-out samples for a trained baseline. Samples that fail
+/// preparation are skipped and recorded.
+///
+/// # Errors
+///
+/// [`PipelineError::BudgetExceeded`] when the skips push the run over its
+/// failure budget.
 pub fn prepare_for_baseline(
     world: &World,
     run: &BaselineRun,
     samples: &[CircuitSample],
-) -> Vec<Prepared> {
+    manifest: &mut RunManifest,
+) -> Result<Vec<Prepared>, PipelineError> {
     let _obs = moss_obs::span_items("prepare_heldout", samples.len() as u64);
-    moss_tensor::par_map(samples, |_, s| {
-        run.model
-            .prepare(
+    let results = moss_tensor::par_map(samples, |_, s| {
+        (
+            s.name.clone(),
+            run.model.prepare(
                 s,
                 &world.encoder,
                 &run.store,
                 &world.lib,
                 world.config.clock_mhz,
-            )
-            .expect("samples prepare")
-    })
+            ),
+        )
+    });
+    collect_stage(results, "prepare", manifest)
 }
 
 /// Scores a trained variant on arbitrary prepared circuits.
@@ -211,24 +303,6 @@ pub fn evaluate_variant_on(run: &VariantRun, preps: &[Prepared]) -> Vec<CircuitS
 pub fn evaluate_baseline_on(run: &BaselineRun, preps: &[Prepared]) -> Vec<CircuitScores> {
     let _obs = moss_obs::span_items("evaluate", preps.len() as u64);
     moss_tensor::par_map(preps, |_, p| score(&run.model.predict(&run.store, p), p))
-}
-
-/// Builds ground-truth samples for a set of modules.
-pub fn build_samples(world: &World, modules: &[Module]) -> Vec<CircuitSample> {
-    let _obs = moss_obs::span_items("build_samples", modules.len() as u64);
-    moss_tensor::par_map(modules, |i, m| {
-        CircuitSample::build(
-            m,
-            &world.lib,
-            &SampleOptions {
-                sim_cycles: world.config.sim_cycles,
-                seed: world.config.seed ^ ((i as u64) << 8),
-                clock_mhz: world.config.clock_mhz,
-                ..SampleOptions::default()
-            },
-        )
-        .expect("benchmark modules synthesize")
-    })
 }
 
 /// A trained MOSS variant with everything needed for evaluation.
@@ -244,7 +318,7 @@ pub struct VariantRun {
     /// encoder would be distribution-shifted relative to what the (frozen)
     /// GNN trunk trained on.
     pub feature_store: ParamStore,
-    /// Prepared circuits, aligned with the input samples.
+    /// Prepared circuits (the training samples that survived preparation).
     pub preps: Vec<Prepared>,
     /// Pre-training loss curves (Fig. 7).
     pub pretrain: Vec<PretrainEpoch>,
@@ -252,8 +326,19 @@ pub struct VariantRun {
     pub align: Vec<AlignEpoch>,
 }
 
-/// Trains one MOSS variant on `samples`.
-pub fn train_variant(world: &World, variant: MossVariant, samples: &[CircuitSample]) -> VariantRun {
+/// Trains one MOSS variant on `samples`. Samples that fail preparation are
+/// skipped (recorded in `manifest`) and the variant trains on the rest.
+///
+/// # Errors
+///
+/// [`PipelineError::BudgetExceeded`] when the skips push the run over its
+/// failure budget.
+pub fn train_variant(
+    world: &World,
+    variant: MossVariant,
+    samples: &[CircuitSample],
+    manifest: &mut RunManifest,
+) -> Result<VariantRun, PipelineError> {
     let _obs = moss_obs::span("train_variant");
     let mut store = world.store.clone();
     let model = MossModel::new(
@@ -265,31 +350,33 @@ pub fn train_variant(world: &World, variant: MossVariant, samples: &[CircuitSamp
         &mut store,
         world.config.seed ^ 0x90de1,
     );
-    let preps: Vec<Prepared> = moss_tensor::par_map(samples, |_, s| {
-        model
-            .prepare(
+    let results = moss_tensor::par_map(samples, |_, s| {
+        (
+            s.name.clone(),
+            model.prepare(
                 s,
                 &world.encoder,
                 &store,
                 &world.lib,
                 world.config.clock_mhz,
-            )
-            .expect("samples prepare")
+            ),
+        )
     });
+    let preps = collect_stage(results, "prepare", manifest)?;
     let mut trainer = Trainer::new(world.config.train);
     let pretrain = trainer.pretrain(&model, &mut store, &preps);
     let feature_store = store.clone();
     // Alignment trains only the projection heads and text-side LoRA; the
     // GNN trunk (and therefore the regression heads) is untouched.
     let align = trainer.align(&model, &world.encoder, &mut store, &preps);
-    VariantRun {
+    Ok(VariantRun {
         model,
         store,
         feature_store,
         preps,
         pretrain,
         align,
-    }
+    })
 }
 
 /// A trained DeepSeq2 baseline.
@@ -299,14 +386,24 @@ pub struct BaselineRun {
     pub model: DeepSeq2,
     /// Its parameters.
     pub store: ParamStore,
-    /// Prepared circuits.
+    /// Prepared circuits (the training samples that survived preparation).
     pub preps: Vec<Prepared>,
     /// Training loss curves.
     pub pretrain: Vec<PretrainEpoch>,
 }
 
-/// Trains the DeepSeq2 baseline on `samples`.
-pub fn train_baseline(world: &World, samples: &[CircuitSample]) -> BaselineRun {
+/// Trains the DeepSeq2 baseline on `samples`. Samples that fail
+/// preparation are skipped (recorded in `manifest`).
+///
+/// # Errors
+///
+/// [`PipelineError::BudgetExceeded`] when the skips push the run over its
+/// failure budget.
+pub fn train_baseline(
+    world: &World,
+    samples: &[CircuitSample],
+    manifest: &mut RunManifest,
+) -> Result<BaselineRun, PipelineError> {
     let _obs = moss_obs::span("train_baseline");
     let mut store = world.store.clone();
     let model = DeepSeq2::new(
@@ -317,25 +414,27 @@ pub fn train_baseline(world: &World, samples: &[CircuitSample]) -> BaselineRun {
         &mut store,
         world.config.seed ^ 0xba5e,
     );
-    let preps: Vec<Prepared> = moss_tensor::par_map(samples, |_, s| {
-        model
-            .prepare(
+    let results = moss_tensor::par_map(samples, |_, s| {
+        (
+            s.name.clone(),
+            model.prepare(
                 s,
                 &world.encoder,
                 &store,
                 &world.lib,
                 world.config.clock_mhz,
-            )
-            .expect("samples prepare")
+            ),
+        )
     });
+    let preps = collect_stage(results, "prepare", manifest)?;
     let mut trainer = Trainer::new(world.config.train);
     let pretrain = trainer.train_deepseq2(&model, &mut store, &preps);
-    BaselineRun {
+    Ok(BaselineRun {
         model,
         store,
         preps,
         pretrain,
-    }
+    })
 }
 
 /// Per-circuit Table I scores (percentages).
@@ -377,38 +476,57 @@ pub fn evaluate_baseline(run: &BaselineRun) -> Vec<CircuitScores> {
     })
 }
 
-/// Column averages for a score table.
-pub fn averages(scores: &[CircuitScores]) -> (f64, f64, f64) {
-    let n = scores.len().max(1) as f64;
-    (
+/// Column averages for a score table, or `None` for an empty one — the
+/// caller renders a placeholder instead of the old `0/0 = NaN`.
+pub fn averages(scores: &[CircuitScores]) -> Option<(f64, f64, f64)> {
+    if scores.is_empty() {
+        return None;
+    }
+    let n = scores.len() as f64;
+    Some((
         scores.iter().map(|s| s.atp).sum::<f64>() / n,
         scores.iter().map(|s| s.trp).sum::<f64>() / n,
         scores.iter().map(|s| s.pp).sum::<f64>() / n,
-    )
+    ))
 }
 
 /// FEP retrieval accuracy of a trained variant on a group of prepared
-/// circuits (paper Table II protocol).
-pub fn fep_of(world: &World, run: &VariantRun, preps: &[Prepared]) -> f64 {
+/// circuits (paper Table II protocol), or `None` for an empty group.
+pub fn fep_of(world: &World, run: &VariantRun, preps: &[Prepared]) -> Option<f64> {
+    if preps.is_empty() {
+        return None;
+    }
     let _obs = moss_obs::span_items("fep", preps.len() as u64);
     let rtl: Vec<Vec<f32>> = moss_tensor::par_map(preps, |_, p| {
         run.model.rtl_align_vec(&run.store, &world.encoder, p)
     });
     let net: Vec<Vec<f32>> =
         moss_tensor::par_map(preps, |_, p| run.model.predict(&run.store, p).netlist_align);
-    metrics::fep_accuracy(&rtl, &net) * 100.0
+    Some(metrics::fep_accuracy(&rtl, &net) * 100.0)
 }
 
-/// Prints a quick cell-count census of the benchmark suite.
-pub fn suite_census() -> Vec<(String, usize, usize)> {
+/// Synthesized cell/DFF counts of the benchmark suite, one entry per
+/// circuit in suite order; `None` marks a circuit whose synthesis failed
+/// (recorded in `manifest`).
+pub fn suite_census(manifest: &mut RunManifest) -> Vec<(String, Option<(usize, usize)>)> {
     let suite = moss_datagen::benchmark_suite();
-    moss_tensor::par_map(&suite, |_, m| {
-        let r = moss_synth::synthesize(m, &moss_synth::SynthOptions::default())
-            .expect("benchmarks synthesize");
+    let results = moss_tensor::par_map(&suite, |_, m| {
         (
             m.name().to_owned(),
-            r.netlist.cell_count(),
-            r.netlist.dff_count(),
+            moss_synth::synthesize(m, &moss_synth::SynthOptions::default()),
         )
-    })
+    });
+    results
+        .into_iter()
+        .map(|(name, r)| match r {
+            Ok(r) => {
+                manifest.record_success();
+                (name, Some((r.netlist.cell_count(), r.netlist.dff_count())))
+            }
+            Err(e) => {
+                manifest.record_skip(name.clone(), "synthesize", e.into());
+                (name, None)
+            }
+        })
+        .collect()
 }

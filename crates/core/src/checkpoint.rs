@@ -4,6 +4,23 @@
 //! The parameter payload reuses `moss-tensor`'s binary format; a small
 //! fixed-layout header carries the [`MossConfig`] so a restored model is
 //! reconstructed with the same architecture and variant.
+//!
+//! ## Format (`MOSSCKP2`)
+//!
+//! ```text
+//! magic "MOSSCKP2"
+//! config header (7×u64 + f32)
+//! parameter payload (MOSSPAR1)
+//! trainer flag u8 (0 = none, 1 = trainer state follows)
+//! [trainer state: schedule, PRNG stream, loss-balancer EMA,
+//!  epoch progress, loss histories, optimizer moments by name]
+//! crc32 (IEEE) of every preceding byte, little-endian u32
+//! ```
+//!
+//! The CRC footer turns silent corruption (torn writes survived by the
+//! filesystem, bit rot) into a clean `InvalidData` error; the version bump
+//! rejects v1 (`MOSSCKP1`) blobs, which had no integrity check. Every
+//! truncation is likewise reported as `InvalidData`, never a panic.
 
 use std::fs;
 use std::io::{self, Read, Write};
@@ -12,8 +29,115 @@ use std::path::{Path, PathBuf};
 use moss_tensor::{load_params, save_params, ParamStore};
 
 use crate::model::{MossConfig, MossVariant};
+use crate::trainer::Trainer;
 
-const MAGIC: &[u8; 8] = b"MOSSCKP1";
+const MAGIC: &[u8; 8] = b"MOSSCKP2";
+const V1_MAGIC: &[u8; 8] = b"MOSSCKP1";
+
+// ---- CRC32 (IEEE 802.3, reflected) --------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// A writer that maintains a running CRC32 of everything written.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: u32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> CrcWriter<W> {
+        CrcWriter {
+            inner,
+            crc: 0xffff_ffff,
+        }
+    }
+
+    fn crc(&self) -> u32 {
+        self.crc ^ 0xffff_ffff
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that maintains a running CRC32 of everything read.
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: u32,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn new(inner: R) -> CrcReader<R> {
+        CrcReader {
+            inner,
+            crc: 0xffff_ffff,
+        }
+    }
+
+    fn crc(&self) -> u32 {
+        self.crc ^ 0xffff_ffff
+    }
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// A truncated file surfaces as `UnexpectedEof` from `read_exact`; callers
+/// are promised `InvalidData` for every corrupt checkpoint, so fold it in.
+fn eof_as_invalid(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        invalid("truncated checkpoint")
+    } else {
+        e
+    }
+}
+
+// ---- save ----------------------------------------------------------------
 
 /// Writes a checkpoint of `config` + `store` to `writer`.
 ///
@@ -39,11 +163,36 @@ const MAGIC: &[u8; 8] = b"MOSSCKP1";
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub fn save_checkpoint<W: Write>(
-    mut writer: W,
+    writer: W,
     config: &MossConfig,
     store: &ParamStore,
 ) -> io::Result<()> {
-    writer.write_all(MAGIC)?;
+    save_checkpoint_impl(writer, config, store, None)
+}
+
+/// Writes a checkpoint that additionally carries a mid-run [`Trainer`]
+/// state, so training can resume bit-identically after a crash.
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+pub fn save_training_checkpoint<W: Write>(
+    writer: W,
+    config: &MossConfig,
+    store: &ParamStore,
+    trainer: &Trainer,
+) -> io::Result<()> {
+    save_checkpoint_impl(writer, config, store, Some(trainer))
+}
+
+fn save_checkpoint_impl<W: Write>(
+    writer: W,
+    config: &MossConfig,
+    store: &ParamStore,
+    trainer: Option<&Trainer>,
+) -> io::Result<()> {
+    let mut w = CrcWriter::new(writer);
+    w.write_all(MAGIC)?;
     for v in [
         config.d_llm as u64,
         config.d_hidden as u64,
@@ -53,35 +202,72 @@ pub fn save_checkpoint<W: Write>(
         variant_tag(config.variant),
         config.two_phase as u64,
     ] {
-        writer.write_all(&v.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
     }
-    writer.write_all(&config.cluster_eps.to_le_bytes())?;
-    save_params(writer, store)
+    w.write_all(&config.cluster_eps.to_le_bytes())?;
+    save_params(&mut w, store)?;
+    match trainer {
+        Some(t) => {
+            w.write_all(&[1u8])?;
+            t.write_state(&mut w, store)?;
+        }
+        None => w.write_all(&[0u8])?,
+    }
+    let crc = w.crc();
+    w.inner.write_all(&crc.to_le_bytes())
 }
 
-/// Reads a checkpoint written by [`save_checkpoint`].
+// ---- load ----------------------------------------------------------------
+
+/// Reads a checkpoint written by [`save_checkpoint`] (a trailing trainer
+/// section, if present, is validated and discarded).
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic, unknown variant tag, or corrupted
-/// payload.
-pub fn load_checkpoint<R: Read>(mut reader: R) -> io::Result<(MossConfig, ParamStore)> {
+/// Returns `InvalidData` on a bad magic (including v1 `MOSSCKP1` blobs),
+/// unknown variant tag, truncation, CRC mismatch, or corrupted payload.
+pub fn load_checkpoint<R: Read>(reader: R) -> io::Result<(MossConfig, ParamStore)> {
+    let (config, store, _) = load_checkpoint_impl(reader)?;
+    Ok((config, store))
+}
+
+/// Reads a training checkpoint written by [`save_training_checkpoint`],
+/// restoring the mid-run trainer alongside the model.
+///
+/// # Errors
+///
+/// As [`load_checkpoint`]; additionally `InvalidData` if the checkpoint
+/// holds no trainer state.
+pub fn load_training_checkpoint<R: Read>(
+    reader: R,
+) -> io::Result<(MossConfig, ParamStore, Trainer)> {
+    let (config, store, trainer) = load_checkpoint_impl(reader)?;
+    let trainer = trainer.ok_or_else(|| invalid("checkpoint holds no trainer state"))?;
+    Ok((config, store, trainer))
+}
+
+fn load_checkpoint_impl<R: Read>(
+    reader: R,
+) -> io::Result<(MossConfig, ParamStore, Option<Trainer>)> {
+    let mut r = CrcReader::new(reader);
     let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a moss checkpoint",
+    r.read_exact(&mut magic).map_err(eof_as_invalid)?;
+    if &magic == V1_MAGIC {
+        return Err(invalid(
+            "unsupported checkpoint version MOSSCKP1 (re-save with this release)",
         ));
+    }
+    if &magic != MAGIC {
+        return Err(invalid("not a moss checkpoint"));
     }
     let mut fields = [0u64; 7];
     for f in &mut fields {
         let mut b = [0u8; 8];
-        reader.read_exact(&mut b)?;
+        r.read_exact(&mut b).map_err(eof_as_invalid)?;
         *f = u64::from_le_bytes(b);
     }
     let mut eps = [0u8; 4];
-    reader.read_exact(&mut eps)?;
+    r.read_exact(&mut eps).map_err(eof_as_invalid)?;
     let config = MossConfig {
         d_llm: fields[0] as usize,
         d_hidden: fields[1] as usize,
@@ -92,31 +278,73 @@ pub fn load_checkpoint<R: Read>(mut reader: R) -> io::Result<(MossConfig, ParamS
         two_phase: fields[6] != 0,
         cluster_eps: f32::from_le_bytes(eps),
     };
-    let store = load_params(reader)?;
-    Ok((config, store))
+    let store = load_params(&mut r).map_err(eof_as_invalid)?;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag).map_err(eof_as_invalid)?;
+    let trainer = match flag[0] {
+        0 => None,
+        1 => Some(Trainer::read_state(&mut r, &store).map_err(eof_as_invalid)?),
+        _ => return Err(invalid("corrupt trainer flag")),
+    };
+    let computed = r.crc();
+    let mut footer = [0u8; 4];
+    r.inner.read_exact(&mut footer).map_err(eof_as_invalid)?;
+    if u32::from_le_bytes(footer) != computed {
+        return Err(invalid("checkpoint crc mismatch"));
+    }
+    Ok((config, store, trainer))
 }
+
+// ---- file variants -------------------------------------------------------
 
 /// Writes a checkpoint to `path` crash-safely: the bytes go to a sibling
 /// temporary file (`<path>.tmp`), are flushed and synced, and the
 /// temporary is atomically renamed over `path`. An interrupted save can
-/// therefore never leave a truncated `MOSSCKP1` blob where a valid
-/// checkpoint used to be — readers see either the old file or the new one.
+/// therefore never leave a truncated blob where a valid checkpoint used to
+/// be — readers see either the old file or the new one.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors; on failure the temporary file is removed
 /// (best effort) and any pre-existing checkpoint at `path` is untouched.
+/// The `io` fault site (`MOSS_FAULTS=io:<rate>`) injects failures here.
 pub fn save_checkpoint_file<P: AsRef<Path>>(
     path: P,
     config: &MossConfig,
     store: &ParamStore,
 ) -> io::Result<()> {
-    let path = path.as_ref();
+    save_file_impl(path.as_ref(), config, store, None)
+}
+
+/// [`save_checkpoint_file`] carrying a mid-run [`Trainer`] (the autosave
+/// path).
+///
+/// # Errors
+///
+/// As [`save_checkpoint_file`].
+pub fn save_training_checkpoint_file<P: AsRef<Path>>(
+    path: P,
+    config: &MossConfig,
+    store: &ParamStore,
+    trainer: &Trainer,
+) -> io::Result<()> {
+    save_file_impl(path.as_ref(), config, store, Some(trainer))
+}
+
+fn save_file_impl(
+    path: &Path,
+    config: &MossConfig,
+    store: &ParamStore,
+    trainer: Option<&Trainer>,
+) -> io::Result<()> {
+    if io_fault(path) {
+        return Err(io::Error::other("injected fault at site 'io'"));
+    }
     let tmp = tmp_path(path);
     let result = (|| {
         let file = fs::File::create(&tmp)?;
         let mut writer = io::BufWriter::new(file);
-        save_checkpoint(&mut writer, config, store)?;
+        save_checkpoint_impl(&mut writer, config, store, trainer)?;
         writer.flush()?;
         // Push the payload to disk before the rename publishes it.
         writer.get_ref().sync_all()?;
@@ -133,12 +361,39 @@ pub fn save_checkpoint_file<P: AsRef<Path>>(
 ///
 /// # Errors
 ///
-/// Propagates open errors and [`load_checkpoint`] validation errors
-/// (truncated or corrupt files are rejected with `InvalidData` /
-/// `UnexpectedEof`).
+/// Propagates open errors; truncated or corrupt files are rejected with
+/// `InvalidData`. The `io` fault site injects failures here.
 pub fn load_checkpoint_file<P: AsRef<Path>>(path: P) -> io::Result<(MossConfig, ParamStore)> {
-    let file = fs::File::open(path.as_ref())?;
+    let path = path.as_ref();
+    if io_fault(path) {
+        return Err(io::Error::other("injected fault at site 'io'"));
+    }
+    let file = fs::File::open(path)?;
     load_checkpoint(io::BufReader::new(file))
+}
+
+/// Reads a training checkpoint written by [`save_training_checkpoint_file`].
+///
+/// # Errors
+///
+/// As [`load_checkpoint_file`]; additionally `InvalidData` if the file
+/// holds no trainer state.
+pub fn load_training_checkpoint_file<P: AsRef<Path>>(
+    path: P,
+) -> io::Result<(MossConfig, ParamStore, Trainer)> {
+    let path = path.as_ref();
+    if io_fault(path) {
+        return Err(io::Error::other("injected fault at site 'io'"));
+    }
+    let file = fs::File::open(path)?;
+    load_training_checkpoint(io::BufReader::new(file))
+}
+
+fn io_fault(path: &Path) -> bool {
+    moss_faults::fire(
+        moss_faults::Site::Io,
+        moss_faults::key(&path.to_string_lossy()),
+    )
 }
 
 fn tmp_path(path: &Path) -> PathBuf {
@@ -163,10 +418,7 @@ fn variant_from_tag(tag: u64) -> io::Result<MossVariant> {
         2 => MossVariant::WithoutAlignment,
         3 => MossVariant::Full,
         _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "unknown variant tag",
-            ))
+            return Err(invalid("unknown variant tag"));
         }
     })
 }
@@ -176,6 +428,7 @@ mod tests {
     use super::*;
     use crate::model::MossModel;
     use crate::sample::{CircuitSample, SampleOptions};
+    use crate::trainer::TrainConfig;
     use moss_llm::{EncoderConfig, TextEncoder};
     use moss_netlist::CellLibrary;
 
@@ -296,15 +549,99 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
-    #[test]
-    fn corrupt_checkpoints_are_rejected() {
-        assert!(load_checkpoint(&b"BADMAGIC"[..]).is_err());
+    fn small_checkpoint() -> (MossConfig, ParamStore, Vec<u8>) {
         let mut store = ParamStore::new();
         let config = MossConfig::small(8, MossVariant::Full);
         let _ = MossModel::new(config, &mut store, 1);
         let mut buf = Vec::new();
         save_checkpoint(&mut buf, &config, &store).unwrap();
-        buf.truncate(buf.len() / 2);
-        assert!(load_checkpoint(buf.as_slice()).is_err());
+        (config, store, buf)
+    }
+
+    fn expect_invalid(result: io::Result<(MossConfig, ParamStore)>, what: &str) {
+        match result {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{what}: {e}"),
+            Ok(_) => panic!("{what}: corrupt checkpoint loaded"),
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_invalid_data_not_panics() {
+        let (_, _, buf) = small_checkpoint();
+
+        // Zero-length file.
+        expect_invalid(load_checkpoint(&b""[..]), "zero-length");
+        // Bad magic.
+        expect_invalid(load_checkpoint(&b"BADMAGIC"[..]), "bad magic");
+        // Old format version.
+        let mut v1 = buf.clone();
+        v1[..8].copy_from_slice(b"MOSSCKP1");
+        expect_invalid(load_checkpoint(v1.as_slice()), "v1 magic");
+        // Truncations at every interesting boundary.
+        for cut in [4, 8, 40, buf.len() / 2, buf.len() - 5, buf.len() - 1] {
+            let mut t = buf.clone();
+            t.truncate(cut);
+            expect_invalid(load_checkpoint(t.as_slice()), "truncated");
+        }
+        // A flipped byte in the CRC footer.
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        expect_invalid(load_checkpoint(flipped.as_slice()), "flipped crc");
+        // A flipped byte in the payload (caught by the CRC).
+        let mut payload = buf.clone();
+        let mid = payload.len() / 2;
+        payload[mid] ^= 0x01;
+        expect_invalid(load_checkpoint(payload.as_slice()), "flipped payload");
+        // The pristine buffer still loads.
+        assert!(load_checkpoint(buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn training_checkpoint_round_trips_trainer_state() {
+        let mut store = ParamStore::new();
+        let config = MossConfig::small(8, MossVariant::Full);
+        let _ = MossModel::new(config, &mut store, 1);
+        let trainer = Trainer::new(TrainConfig {
+            pretrain_epochs: 7,
+            seed: 0xfeed,
+            ..TrainConfig::default()
+        });
+
+        let mut buf = Vec::new();
+        save_training_checkpoint(&mut buf, &config, &store, &trainer).unwrap();
+        let (rc, rs, rt) = load_training_checkpoint(buf.as_slice()).unwrap();
+        assert_eq!(rc, config);
+        assert_eq!(rs.scalar_count(), store.scalar_count());
+        assert_eq!(rt.config(), trainer.config());
+        assert_eq!(rt.pretrain_epochs_done(), 0);
+
+        // A model-only checkpoint refuses to yield a trainer…
+        let mut plain = Vec::new();
+        save_checkpoint(&mut plain, &config, &store).unwrap();
+        let e = load_training_checkpoint(plain.as_slice()).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        // …while a training checkpoint still loads as a plain one.
+        assert!(load_checkpoint(buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn io_fault_site_injects_save_and_load_failures() {
+        let path = temp_ckpt_path("iofault");
+        let mut store = ParamStore::new();
+        let config = MossConfig::small(8, MossVariant::Full);
+        let _ = MossModel::new(config, &mut store, 1);
+        save_checkpoint_file(&path, &config, &store).unwrap();
+
+        moss_faults::override_for_tests(Some("io:1.0"));
+        let e = save_checkpoint_file(&path, &config, &store).unwrap_err();
+        assert!(e.to_string().contains("injected fault"));
+        let e = load_checkpoint_file(&path).unwrap_err();
+        assert!(e.to_string().contains("injected fault"));
+        moss_faults::override_for_tests(None);
+
+        // The published checkpoint is intact once faults clear.
+        assert!(load_checkpoint_file(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 }

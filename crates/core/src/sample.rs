@@ -89,6 +89,12 @@ impl CircuitSample {
         let synth = synthesize(module, &options.synth)?;
         let netlist = synth.netlist;
         let bindings = synth.dffs;
+        // Rehearsed resource-exhaustion: a configured `oom-cap` rejects
+        // circuits whose synthesized size exceeds the cell budget, the way
+        // a memory-capped worker would.
+        if moss_faults::fire_oom(netlist.cell_count() as u64) {
+            return Err(SynthError::FaultInjected { site: "oom-cap" });
+        }
 
         // Simulation ground truth: toggle rates + signal probabilities,
         // on the compiled bit-parallel engine (bit-identical to the GateSim

@@ -1,14 +1,29 @@
 //! Multi-task training with dynamic loss balancing (paper Eq. 2) in two
 //! phases: pre-training on the local tasks (Fig. 7) and multimodal
 //! alignment (Fig. 8).
+//!
+//! ## Crash resumability
+//!
+//! A [`Trainer`] carries its complete mid-run state — PRNG stream, dynamic
+//! loss weights, optimizer moments, and per-phase epoch progress — and can
+//! serialize all of it into the versioned checkpoint format
+//! ([`crate::save_training_checkpoint_file`]). With
+//! [`Trainer::autosave_to`] enabled the trainer checkpoints itself after
+//! every epoch; after a crash, [`Trainer::resume_from`] restores the run
+//! and re-entering [`Trainer::pretrain`] / [`Trainer::align`] continues
+//! from the first unfinished epoch, bit-identical to a run that was never
+//! interrupted.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 
 use moss_prng::rngs::StdRng;
 use moss_prng::seq::SliceRandom;
 use moss_prng::SeedableRng;
-use moss_tensor::{Adam, Graph, ParamStore, Var};
+use moss_tensor::{Adam, Graph, ParamStore, Tensor, Var};
 
 use crate::deepseq2::DeepSeq2;
-use crate::model::{MossModel, Prepared};
+use crate::model::{MossConfig, MossModel, Prepared};
 use moss_llm::TextEncoder;
 
 /// Training hyperparameters.
@@ -103,6 +118,23 @@ pub struct Trainer {
     config: TrainConfig,
     optimizer: Adam,
     rng: StdRng,
+    // Mid-run state, all checkpointed so a resumed trainer replays the
+    // exact stream of an uninterrupted one.
+    weights: DynamicWeights,
+    align_opt: Option<Adam>,
+    pretrain_done: usize,
+    align_done: usize,
+    // Shuffle state: each epoch shuffles the previous epoch's permutation
+    // in place, so the current permutation is part of the stream a resume
+    // must replay (empty until the phase first runs).
+    pretrain_order: Vec<usize>,
+    align_order: Vec<usize>,
+    pretrain_history: Vec<PretrainEpoch>,
+    align_history: Vec<AlignEpoch>,
+    // Autosave + crash-rehearsal hooks; never checkpointed.
+    autosave_path: Option<PathBuf>,
+    abort_after_steps: Option<u64>,
+    steps_taken: u64,
 }
 
 impl Trainer {
@@ -111,12 +143,92 @@ impl Trainer {
         Trainer {
             optimizer: Adam::new(config.learning_rate),
             rng: StdRng::seed_from_u64(config.seed),
+            weights: DynamicWeights::new(4),
+            align_opt: None,
+            pretrain_done: 0,
+            align_done: 0,
+            pretrain_order: Vec::new(),
+            align_order: Vec::new(),
+            pretrain_history: Vec::new(),
+            align_history: Vec::new(),
+            autosave_path: None,
+            abort_after_steps: None,
+            steps_taken: 0,
             config,
         }
     }
 
+    /// The trainer's configuration.
+    pub fn config(&self) -> TrainConfig {
+        self.config
+    }
+
+    /// Pre-training epochs completed so far (resume point).
+    pub fn pretrain_epochs_done(&self) -> usize {
+        self.pretrain_done
+    }
+
+    /// Alignment epochs completed so far (resume point).
+    pub fn align_epochs_done(&self) -> usize {
+        self.align_done
+    }
+
+    /// Enables autosaving: after each completed epoch (pre-training and
+    /// alignment) the trainer writes a crash-safe training checkpoint of
+    /// `config` + parameters + its own state to `path`. A failed autosave
+    /// degrades gracefully — a warning plus a `train.autosave_failures`
+    /// counter — rather than killing the run it exists to protect.
+    pub fn autosave_to(&mut self, path: impl Into<PathBuf>) {
+        self.autosave_path = Some(path.into());
+    }
+
+    /// Restores a mid-run trainer (plus model config and parameters) from
+    /// a training checkpoint written by autosave or
+    /// [`crate::save_training_checkpoint_file`]. Rebuild the model against
+    /// the returned store (`MossModel::new` rebinds by name) and call
+    /// [`Trainer::pretrain`] / [`Trainer::align`] again: completed epochs
+    /// are skipped and the remainder replays bit-identically to an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a corrupt, truncated, or version-mismatched file,
+    /// or one that holds no trainer state.
+    pub fn resume_from(path: impl AsRef<Path>) -> io::Result<(MossConfig, ParamStore, Trainer)> {
+        crate::checkpoint::load_training_checkpoint_file(path)
+    }
+
+    /// Test/rehearsal hook: simulate a crash by returning early from the
+    /// current training phase after `steps` optimizer updates.
+    #[doc(hidden)]
+    pub fn abort_after_steps(&mut self, steps: u64) {
+        self.abort_after_steps = Some(steps);
+        self.steps_taken = 0;
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort_after_steps
+            .is_some_and(|limit| self.steps_taken >= limit)
+    }
+
+    fn maybe_autosave(&self, config: &MossConfig, store: &ParamStore) {
+        let Some(path) = self.autosave_path.as_ref() else {
+            return;
+        };
+        if let Err(e) = crate::checkpoint::save_training_checkpoint_file(path, config, store, self)
+        {
+            moss_obs::counter("train.autosave_failures", 1);
+            eprintln!("moss: autosave to {} failed: {e}", path.display());
+        }
+    }
+
     /// Phase 1 — pre-training on the local tasks. Returns per-epoch losses
-    /// (the Fig. 7 curves).
+    /// (the Fig. 7 curves — the complete history, including epochs finished
+    /// before a resume).
+    ///
+    /// A step whose losses are non-finite (organically diverged, or the
+    /// `nan` fault site fired) is skipped and counted
+    /// (`train.skipped_steps`) instead of poisoning the parameters.
     pub fn pretrain(
         &mut self,
         model: &MossModel,
@@ -124,15 +236,24 @@ impl Trainer {
         circuits: &[Prepared],
     ) -> Vec<PretrainEpoch> {
         let _obs = moss_obs::span("pretrain");
-        let mut weights = DynamicWeights::new(4);
-        let mut history = Vec::with_capacity(self.config.pretrain_epochs);
-        let mut order: Vec<usize> = (0..circuits.len()).collect();
-        for _ in 0..self.config.pretrain_epochs {
+        if self.pretrain_order.len() != circuits.len() {
+            self.pretrain_order = (0..circuits.len()).collect();
+        }
+        for epoch in self.pretrain_done..self.config.pretrain_epochs {
             let _epoch_obs = moss_obs::span_items("pretrain_epoch", circuits.len() as u64);
             moss_obs::counter("train.pretrain_epochs", 1);
-            order.shuffle(&mut self.rng);
+            self.pretrain_order.shuffle(&mut self.rng);
+            let order = self.pretrain_order.clone();
             let mut sums = [0.0f64; 5];
-            for &i in &order {
+            let mut used = 0usize;
+            for (step, &i) in order.iter().enumerate() {
+                if self.aborted() {
+                    return self.pretrain_history.clone();
+                }
+                if moss_faults::fire(moss_faults::Site::Nan, ((epoch as u64) << 32) ^ step as u64) {
+                    moss_obs::counter("train.skipped_steps", 1);
+                    continue;
+                }
                 let prep = &circuits[i];
                 let mut g = Graph::new();
                 let l = model.local_losses(&mut g, store, prep);
@@ -142,7 +263,11 @@ impl Trainer {
                     g.value(l.arrival).get(0, 0) as f64,
                     g.value(l.power).get(0, 0) as f64,
                 ];
-                let w = weights.update(&raw);
+                if raw.iter().any(|v| !v.is_finite()) {
+                    moss_obs::counter("train.skipped_steps", 1);
+                    continue;
+                }
+                let w = self.weights.update(&raw);
                 let total =
                     weighted_sum(&mut g, &[l.probability, l.toggle, l.arrival, l.power], &w);
                 sums[0] += g.value(total).get(0, 0) as f64;
@@ -150,19 +275,23 @@ impl Trainer {
                 sums[2] += raw[1];
                 sums[3] += raw[2];
                 sums[4] += raw[3];
+                used += 1;
                 let grads = g.backward(total);
                 self.optimizer.step(store, &grads);
+                self.steps_taken += 1;
             }
-            let n = circuits.len().max(1) as f64;
-            history.push(PretrainEpoch {
+            let n = used.max(1) as f64;
+            self.pretrain_history.push(PretrainEpoch {
                 total: sums[0] / n,
                 probability: sums[1] / n,
                 toggle: sums[2] / n,
                 arrival: sums[3] / n,
                 power: sums[4] / n,
             });
+            self.pretrain_done = epoch + 1;
+            self.maybe_autosave(model.config(), store);
         }
-        history
+        self.pretrain_history.clone()
     }
 
     /// Phase 2 — multimodal alignment: RNC + RNM + RrNdM over circuit
@@ -189,27 +318,43 @@ impl Trainer {
         // regression heads' trunk from the retrieval objective (at the
         // paper's data scale joint training is feasible; at ours it
         // catastrophically forgets arrival/toggle structure) and makes the
-        // phase cheap — no per-epoch GNN forward passes.
-        let frozen: Vec<(moss_tensor::Tensor, moss_tensor::Tensor)> = circuits
+        // phase cheap — no per-epoch GNN forward passes. Because the trunk
+        // is frozen, recomputing the embeddings on resume reproduces the
+        // originals bit-exactly; they need no checkpointing.
+        let frozen: Vec<(Tensor, Tensor)> = circuits
             .iter()
             .map(|p| model.frozen_embeddings(store, p))
             .collect();
-        let mut opt = Adam::new(self.config.learning_rate * 2.0);
+        if self.align_opt.is_none() {
+            self.align_opt = Some(Adam::new(self.config.learning_rate * 2.0));
+        }
         let batch = self.config.align_batch.max(2).min(circuits.len());
         // Batch boundaries: a leftover tail of one circuit cannot feed the
         // contrastive RNC loss on its own, so it is folded into the previous
         // batch rather than dropped — every circuit receives an alignment
         // gradient every epoch, and the epoch average covers all samples.
         let ranges = batch_ranges(circuits.len(), batch);
-        let mut history = Vec::with_capacity(self.config.align_epochs);
-        let mut order: Vec<usize> = (0..circuits.len()).collect();
-        for _ in 0..self.config.align_epochs {
+        if self.align_order.len() != circuits.len() {
+            self.align_order = (0..circuits.len()).collect();
+        }
+        for epoch in self.align_done..self.config.align_epochs {
             let _epoch_obs = moss_obs::span_items("align_epoch", circuits.len() as u64);
             moss_obs::counter("train.align_epochs", 1);
-            order.shuffle(&mut self.rng);
+            self.align_order.shuffle(&mut self.rng);
+            let order = self.align_order.clone();
             let mut sums = [0.0f64; 4];
             let mut batches = 0usize;
-            for &(start, end) in &ranges {
+            for (bi, &(start, end)) in ranges.iter().enumerate() {
+                if self.aborted() {
+                    return self.align_history.clone();
+                }
+                if moss_faults::fire(
+                    moss_faults::Site::Nan,
+                    (1u64 << 48) ^ ((epoch as u64) << 32) ^ bi as u64,
+                ) {
+                    moss_obs::counter("train.skipped_steps", 1);
+                    continue;
+                }
                 let chunk = &order[start..end];
                 let mut g = Graph::new();
                 let mut rtl = Vec::with_capacity(chunk.len());
@@ -231,6 +376,10 @@ impl Trainer {
                 if let Some(r) = rrndm {
                     total = g.add(total, r);
                 }
+                if !(g.value(total).get(0, 0) as f64).is_finite() {
+                    moss_obs::counter("train.skipped_steps", 1);
+                    continue;
+                }
                 sums[0] += g.value(total).get(0, 0) as f64;
                 sums[1] += g.value(rnc).get(0, 0) as f64;
                 sums[2] += g.value(rnm).get(0, 0) as f64;
@@ -239,17 +388,23 @@ impl Trainer {
                 }
                 batches += 1;
                 let grads = g.backward(total);
-                opt.step(store, &grads);
+                self.align_opt
+                    .as_mut()
+                    .expect("align optimizer initialized above")
+                    .step(store, &grads);
+                self.steps_taken += 1;
             }
             let n = batches.max(1) as f64;
-            history.push(AlignEpoch {
+            self.align_history.push(AlignEpoch {
                 total: sums[0] / n,
                 rnc: sums[1] / n,
                 rnm: sums[2] / n,
                 rrndm: sums[3] / n,
             });
+            self.align_done = epoch + 1;
+            self.maybe_autosave(model.config(), store);
         }
-        history
+        self.align_history.clone()
     }
 
     /// Trains the DeepSeq2 baseline on its four local tasks.
@@ -262,10 +417,18 @@ impl Trainer {
         let mut weights = DynamicWeights::new(4);
         let mut history = Vec::with_capacity(self.config.pretrain_epochs);
         let mut order: Vec<usize> = (0..circuits.len()).collect();
-        for _ in 0..self.config.pretrain_epochs {
+        for epoch in 0..self.config.pretrain_epochs {
             order.shuffle(&mut self.rng);
             let mut sums = [0.0f64; 5];
-            for &i in &order {
+            let mut used = 0usize;
+            for (step, &i) in order.iter().enumerate() {
+                if moss_faults::fire(
+                    moss_faults::Site::Nan,
+                    (2u64 << 48) ^ ((epoch as u64) << 32) ^ step as u64,
+                ) {
+                    moss_obs::counter("train.skipped_steps", 1);
+                    continue;
+                }
                 let prep = &circuits[i];
                 let mut g = Graph::new();
                 let l = model.losses(&mut g, store, prep);
@@ -275,6 +438,10 @@ impl Trainer {
                     g.value(l.arrival).get(0, 0) as f64,
                     g.value(l.power).get(0, 0) as f64,
                 ];
+                if raw.iter().any(|v| !v.is_finite()) {
+                    moss_obs::counter("train.skipped_steps", 1);
+                    continue;
+                }
                 let w = weights.update(&raw);
                 let total =
                     weighted_sum(&mut g, &[l.probability, l.toggle, l.arrival, l.power], &w);
@@ -282,10 +449,11 @@ impl Trainer {
                 for (s, &r) in sums[1..].iter_mut().zip(&raw) {
                     *s += r;
                 }
+                used += 1;
                 let grads = g.backward(total);
                 self.optimizer.step(store, &grads);
             }
-            let n = circuits.len().max(1) as f64;
+            let n = used.max(1) as f64;
             history.push(PretrainEpoch {
                 total: sums[0] / n,
                 probability: sums[1] / n,
@@ -296,6 +464,264 @@ impl Trainer {
         }
         history
     }
+
+    // ---- checkpoint (de)serialization ------------------------------------
+    //
+    // The trainer blob rides inside the MOSSCKP2 container (after the
+    // parameter payload, covered by the same CRC32 footer). Optimizer
+    // moments are keyed by parameter *name*, so the blob survives as long
+    // as the parameter set does.
+
+    pub(crate) fn write_state<W: Write>(&self, w: &mut W, store: &ParamStore) -> io::Result<()> {
+        w.write_all(&self.config.learning_rate.to_le_bytes())?;
+        for v in [
+            self.config.pretrain_epochs as u64,
+            self.config.align_epochs as u64,
+            self.config.align_batch as u64,
+            self.config.seed,
+        ] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for s in self.rng.state() {
+            w.write_all(&s.to_le_bytes())?;
+        }
+        w.write_all(&self.weights.beta.to_le_bytes())?;
+        w.write_all(&(self.weights.ema.len() as u64).to_le_bytes())?;
+        for e in &self.weights.ema {
+            w.write_all(&e.to_le_bytes())?;
+        }
+        w.write_all(&(self.pretrain_done as u64).to_le_bytes())?;
+        w.write_all(&(self.align_done as u64).to_le_bytes())?;
+        for order in [&self.pretrain_order, &self.align_order] {
+            w.write_all(&(order.len() as u64).to_le_bytes())?;
+            for &i in order.iter() {
+                w.write_all(&(i as u64).to_le_bytes())?;
+            }
+        }
+        w.write_all(&(self.pretrain_history.len() as u64).to_le_bytes())?;
+        for h in &self.pretrain_history {
+            for v in [h.total, h.probability, h.toggle, h.arrival, h.power] {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        w.write_all(&(self.align_history.len() as u64).to_le_bytes())?;
+        for h in &self.align_history {
+            for v in [h.total, h.rnc, h.rnm, h.rrndm] {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        write_adam(w, &self.optimizer, store)?;
+        match &self.align_opt {
+            Some(opt) => {
+                w.write_all(&[1u8])?;
+                write_adam(w, opt, store)
+            }
+            None => w.write_all(&[0u8]),
+        }
+    }
+
+    pub(crate) fn read_state<R: Read>(r: &mut R, store: &ParamStore) -> io::Result<Trainer> {
+        let learning_rate = read_f32(r)?;
+        let pretrain_epochs = read_u64(r)? as usize;
+        let align_epochs = read_u64(r)? as usize;
+        let align_batch = read_u64(r)? as usize;
+        let seed = read_u64(r)?;
+        let config = TrainConfig {
+            learning_rate,
+            pretrain_epochs,
+            align_epochs,
+            align_batch,
+            seed,
+        };
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = read_u64(r)?;
+        }
+        if rng_state == [0; 4] {
+            return Err(invalid("corrupt trainer rng state"));
+        }
+        let beta = read_f64(r)?;
+        let ema_len = read_u64(r)? as usize;
+        if ema_len > 64 {
+            return Err(invalid("corrupt trainer weight count"));
+        }
+        let mut ema = Vec::with_capacity(ema_len);
+        for _ in 0..ema_len {
+            ema.push(read_f64(r)?);
+        }
+        let pretrain_done = read_u64(r)? as usize;
+        let align_done = read_u64(r)? as usize;
+        let mut read_order = || -> io::Result<Vec<usize>> {
+            let len = read_u64(r)? as usize;
+            if len > 1 << 24 {
+                return Err(invalid("corrupt shuffle-order length"));
+            }
+            let mut order = Vec::with_capacity(len);
+            let mut seen = vec![false; len];
+            for _ in 0..len {
+                let i = read_u64(r)? as usize;
+                if i >= len || std::mem::replace(&mut seen[i], true) {
+                    return Err(invalid("corrupt shuffle order"));
+                }
+                order.push(i);
+            }
+            Ok(order)
+        };
+        let pretrain_order = read_order()?;
+        let align_order = read_order()?;
+        let ph_len = read_u64(r)? as usize;
+        if ph_len > 1 << 20 {
+            return Err(invalid("corrupt trainer history length"));
+        }
+        let mut pretrain_history = Vec::with_capacity(ph_len);
+        for _ in 0..ph_len {
+            pretrain_history.push(PretrainEpoch {
+                total: read_f64(r)?,
+                probability: read_f64(r)?,
+                toggle: read_f64(r)?,
+                arrival: read_f64(r)?,
+                power: read_f64(r)?,
+            });
+        }
+        let ah_len = read_u64(r)? as usize;
+        if ah_len > 1 << 20 {
+            return Err(invalid("corrupt trainer history length"));
+        }
+        let mut align_history = Vec::with_capacity(ah_len);
+        for _ in 0..ah_len {
+            align_history.push(AlignEpoch {
+                total: read_f64(r)?,
+                rnc: read_f64(r)?,
+                rnm: read_f64(r)?,
+                rrndm: read_f64(r)?,
+            });
+        }
+        let optimizer = read_adam(r, store)?;
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let align_opt = match flag[0] {
+            0 => None,
+            1 => Some(read_adam(r, store)?),
+            _ => return Err(invalid("corrupt align-optimizer flag")),
+        };
+        Ok(Trainer {
+            config,
+            optimizer,
+            rng: StdRng::from_state(rng_state),
+            weights: DynamicWeights { ema, beta },
+            align_opt,
+            pretrain_done,
+            align_done,
+            pretrain_order,
+            align_order,
+            pretrain_history,
+            align_history,
+            autosave_path: None,
+            abort_after_steps: None,
+            steps_taken: 0,
+        })
+    }
+}
+
+fn write_adam<W: Write>(w: &mut W, adam: &Adam, store: &ParamStore) -> io::Result<()> {
+    w.write_all(&adam.learning_rate().to_le_bytes())?;
+    match adam.clip_norm {
+        Some(c) => {
+            w.write_all(&[1u8])?;
+            w.write_all(&c.to_le_bytes())?;
+        }
+        None => w.write_all(&[0u8, 0, 0, 0, 0])?,
+    }
+    w.write_all(&adam.time_step().to_le_bytes())?;
+    let moments = adam.moments();
+    w.write_all(&(moments.len() as u64).to_le_bytes())?;
+    for (id, m, v) in moments {
+        let name = store.name(id);
+        w.write_all(&(name.len() as u64).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        let (rows, cols) = m.shape();
+        w.write_all(&(rows as u64).to_le_bytes())?;
+        w.write_all(&(cols as u64).to_le_bytes())?;
+        for x in m.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        for x in v.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_adam<R: Read>(r: &mut R, store: &ParamStore) -> io::Result<Adam> {
+    let lr = read_f32(r)?;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let clip = match flag[0] {
+        0 => {
+            let mut pad = [0u8; 4];
+            r.read_exact(&mut pad)?;
+            None
+        }
+        1 => Some(read_f32(r)?),
+        _ => return Err(invalid("corrupt optimizer clip flag")),
+    };
+    let t = read_u64(r)?;
+    let count = read_u64(r)? as usize;
+    if count > store.len() {
+        return Err(invalid("corrupt optimizer moment count"));
+    }
+    let mut moments = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u64(r)? as usize;
+        if name_len > 1 << 16 {
+            return Err(invalid("corrupt optimizer parameter name"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name =
+            String::from_utf8(name).map_err(|_| invalid("corrupt optimizer parameter name"))?;
+        let Some(id) = store.find(&name) else {
+            return Err(invalid("optimizer references unknown parameter"));
+        };
+        let rows = read_u64(r)? as usize;
+        let cols = read_u64(r)? as usize;
+        if (rows, cols) != store.get(id).shape() {
+            return Err(invalid("optimizer moment shape mismatch"));
+        }
+        let mut read_tensor = || -> io::Result<Tensor> {
+            let mut data = vec![0f32; rows * cols];
+            for x in &mut data {
+                *x = read_f32(r)?;
+            }
+            Ok(Tensor::from_vec(data, rows, cols))
+        };
+        let m = read_tensor()?;
+        let v = read_tensor()?;
+        moments.push((id, m, v));
+    }
+    Ok(Adam::from_state(lr, clip, t, moments))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
 /// Splits `len` indices into `[start, end)` batches of nominal size
@@ -509,5 +935,69 @@ mod tests {
         // Weights stay normalized to the task count.
         let sum: f32 = weights.iter().sum();
         assert!((sum - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn resume_after_crash_is_bit_identical_to_uninterrupted_run() {
+        let cfg = TrainConfig {
+            pretrain_epochs: 5,
+            align_epochs: 3,
+            align_batch: 3,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        };
+
+        // Reference: the run that never crashes.
+        let (model, enc, mut store_a, preps) = tiny_world();
+        let mut t_a = Trainer::new(cfg);
+        t_a.pretrain(&model, &mut store_a, &preps);
+        t_a.align(&model, &enc, &mut store_a, &preps);
+
+        // The same run, killed mid-epoch 3 of pre-training (7 optimizer
+        // steps = 2 full epochs of 3 circuits + 1 step whose update the
+        // crash throws away), then resumed from the last autosave.
+        let path = std::env::temp_dir().join(format!("moss_resume_{}.bin", std::process::id()));
+        let (model_b, enc_b, mut store_b, preps_b) = tiny_world();
+        let mut t_b = Trainer::new(cfg);
+        t_b.autosave_to(&path);
+        t_b.abort_after_steps(7);
+        t_b.pretrain(&model_b, &mut store_b, &preps_b);
+        drop((t_b, store_b, model_b)); // the crash
+
+        let (rc, mut store_r, mut t_r) = Trainer::resume_from(&path).unwrap();
+        assert_eq!(t_r.pretrain_epochs_done(), 2, "autosave is per-epoch");
+        // Rebinding by name restores the trained values under the original
+        // ParamIds (load preserves insertion order).
+        let model_r = MossModel::new(rc, &mut store_r, 0xdead);
+        let pre = t_r.pretrain(&model_r, &mut store_r, &preps_b);
+        assert_eq!(pre.len(), cfg.pretrain_epochs, "full history after resume");
+        t_r.align(&model_r, &enc_b, &mut store_r, &preps_b);
+
+        for ((ida, _, ta), (idr, _, tr)) in store_a.iter().zip(store_r.iter()) {
+            assert_eq!(ida, idr);
+            assert_eq!(ta.shape(), tr.shape());
+            for (a, r) in ta.data().iter().zip(tr.data()) {
+                assert_eq!(a.to_bits(), r.to_bits(), "param {ida:?} diverged");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nan_fault_site_skips_steps_without_poisoning_training() {
+        let (model, _enc, mut store, preps) = tiny_world();
+        moss_faults::override_for_tests(Some("nan:0.3:5"));
+        let mut trainer = Trainer::new(TrainConfig {
+            pretrain_epochs: 6,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        });
+        let hist = trainer.pretrain(&model, &mut store, &preps);
+        moss_faults::override_for_tests(None);
+        assert_eq!(hist.len(), 6);
+        assert!(hist.iter().all(|e| e.total.is_finite()), "{hist:?}");
+        for (_, _, t) in store.iter() {
+            assert!(t.data().iter().all(|v| v.is_finite()));
+        }
     }
 }

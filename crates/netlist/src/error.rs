@@ -49,6 +49,20 @@ pub enum NetlistError {
         /// Explanation.
         message: String,
     },
+    /// A deterministic fault from `moss-faults` (`MOSS_FAULTS`) fired at
+    /// this site — a rehearsed failure, not an organic one.
+    FaultInjected {
+        /// The fault site that fired (e.g. `"sim"`, `"sta"`).
+        site: &'static str,
+    },
+}
+
+impl NetlistError {
+    /// True when this error is a rehearsed `moss-faults` injection rather
+    /// than an organic failure (run manifests record the distinction).
+    pub fn is_fault_injected(&self) -> bool {
+        matches!(self, NetlistError::FaultInjected { .. })
+    }
 }
 
 impl fmt::Display for NetlistError {
@@ -80,6 +94,9 @@ impl fmt::Display for NetlistError {
             ),
             NetlistError::VerilogParse { message } => {
                 write!(f, "verilog parse error: {message}")
+            }
+            NetlistError::FaultInjected { site } => {
+                write!(f, "injected fault at site '{site}'")
             }
         }
     }

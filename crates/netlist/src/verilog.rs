@@ -124,7 +124,12 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, NetlistError> {
         return Err(parse_err("missing port list"));
     };
     let name = after[..open].trim().to_owned();
-    let Some(close) = after.find(')') else {
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(parse_err(format!("bad module name '{name}'")));
+    }
+    // Search for the closing paren *after* the opening one: a stray `)`
+    // earlier in the text must not yield an inverted (panicking) slice.
+    let Some(close) = after[open..].find(')').map(|c| open + c) else {
         return Err(parse_err("unterminated port list"));
     };
     let ports_str = &after[open + 1..close];
@@ -184,7 +189,13 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, NetlistError> {
         let Some(&kind) = lib_by_name.get(cell_name) else {
             return Err(parse_err(format!("unknown cell '{cell_name}'")));
         };
-        let inner = stmt[open + 1..stmt.rfind(')').unwrap_or(stmt.len())].trim();
+        // An absent closing paren used to fall back to `stmt.len()`, which
+        // silently mis-parsed a truncated instance (and a stray `)` before
+        // the `(` inverted the slice and panicked); both are hard errors.
+        let Some(close) = stmt[open + 1..].rfind(')').map(|c| open + 1 + c) else {
+            return Err(parse_err(format!("unterminated instance '{stmt}'")));
+        };
+        let inner = stmt[open + 1..close].trim();
         let mut pins = Vec::new();
         for conn in split_pins(inner) {
             let conn = conn.trim().trim_start_matches('.');
@@ -192,8 +203,10 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, NetlistError> {
                 return Err(parse_err(format!("bad pin '{conn}'")));
             };
             let pin = conn[..po].trim().to_owned();
-            let net = conn[po + 1..conn.len() - 1].trim().to_owned();
-            pins.push((pin, net));
+            let Some(net) = conn[po + 1..].strip_suffix(')') else {
+                return Err(parse_err(format!("unterminated pin '{conn}'")));
+            };
+            pins.push((pin, net.trim().to_owned()));
         }
         let fanins = vec![placeholder; kind.input_count()];
         let node = netlist.add_cell(kind, inst_name, &fanins)?;

@@ -1,0 +1,120 @@
+//! No-panic fuzzing of the structural-Verilog parser: `parse_verilog` over
+//! thousands of seeded mutations of valid netlists must either parse or
+//! return a `NetlistError` — never panic and never slice out of bounds.
+//! (ISSUE 5 satellite: the old parser fell back to `stmt.len()` when an
+//! instance's closing paren was missing, silently mis-parsing, and sliced
+//! `conn.len() - 1` off pin connections, a panic on multibyte input.)
+
+use moss_netlist::{parse_verilog, write_verilog, CellKind, Netlist};
+use moss_prng::rngs::StdRng;
+use moss_prng::{Rng, SeedableRng};
+
+fn sample_netlists() -> Vec<Netlist> {
+    let mut combinational = Netlist::new("comb");
+    let a = combinational.add_input("a");
+    let b = combinational.add_input("b");
+    let n1 = combinational
+        .add_cell(CellKind::Nand2, "u1", &[a, b])
+        .unwrap();
+    let n2 = combinational
+        .add_cell(CellKind::Xor2, "u2", &[n1, a])
+        .unwrap();
+    let n3 = combinational.add_cell(CellKind::Inv, "u3", &[n2]).unwrap();
+    combinational.add_output("y", n3);
+
+    let mut sequential = Netlist::new("seq");
+    let d = sequential.add_input("d");
+    let en = sequential.add_input("en");
+    let g = sequential.add_cell(CellKind::And2, "u1", &[d, en]).unwrap();
+    let ff = sequential.add_cell(CellKind::Dff, "r0", &[g]).unwrap();
+    let inv = sequential.add_cell(CellKind::Inv, "u2", &[ff]).unwrap();
+    let fb = sequential.add_cell(CellKind::Dff, "r1", &[inv]).unwrap();
+    let x = sequential
+        .add_cell(CellKind::Xor2, "u3", &[ff, fb])
+        .unwrap();
+    sequential.add_output("q", x);
+
+    vec![combinational, sequential]
+}
+
+/// One seeded mutation of `src`: truncation, byte flip, byte deletion, or
+/// byte insertion — the corruption classes a half-written or bit-rotted
+/// netlist file exhibits.
+fn mutate(src: &str, rng: &mut StdRng) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let cut = rng.gen_range(0..=bytes.len());
+            bytes.truncate(cut);
+        }
+        1 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0..8u32);
+            }
+        }
+        2 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.remove(i);
+            }
+        }
+        _ => {
+            let i = rng.gen_range(0..=bytes.len());
+            // Bias toward structurally interesting bytes.
+            let choices = b"();.,= \xc3\xa9";
+            let c = choices[rng.gen_range(0..choices.len())];
+            bytes.insert(i, c);
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn parser_never_panics_on_mutated_netlists() {
+    let sources: Vec<String> = sample_netlists().iter().map(write_verilog).collect();
+    let mut rng = StdRng::seed_from_u64(0xf722);
+    let mut parsed_ok = 0usize;
+    for round in 0..10_000usize {
+        let mut src = sources[round % sources.len()].clone();
+        // Stack 1–3 mutations so later rounds stray further from valid.
+        for _ in 0..rng.gen_range(1..=3u32) {
+            src = mutate(&src, &mut rng);
+        }
+        if parse_verilog(&src).is_ok() {
+            parsed_ok += 1;
+        }
+    }
+    // Some mutations are benign (whitespace, unused-wire edits); most must
+    // be rejected. Either way, reaching here means no panic in 10k rounds.
+    assert!(
+        parsed_ok < 10_000,
+        "every mutation parsing would mean the fuzz is inert"
+    );
+}
+
+#[test]
+fn unterminated_instance_is_an_error_not_a_misparse() {
+    // The exact regression: an instance whose closing `)` is missing used
+    // to be sliced to end-of-statement and mis-parsed.
+    let src = "module m (input a, output y);\n\
+               wire n_u1;\n\
+               INV_X1 u1 (.A(a), .Y(n_u1);\n\
+               assign y = n_u1;\n\
+               endmodule\n";
+    let err = parse_verilog(src).unwrap_err();
+    assert!(
+        err.to_string().contains("unterminated"),
+        "expected an unterminated-instance error, got: {err}"
+    );
+
+    // A stray `)` ahead of the port list must not invert the header slice.
+    assert!(parse_verilog("module m )q( input a ); endmodule").is_err());
+
+    // A pin connection missing its closing paren is rejected, multibyte
+    // content included.
+    assert!(parse_verilog(
+        "module m (input a, output y); INV_X1 u1 (.A(a), .Y(né); assign y = né; endmodule"
+    )
+    .is_err());
+}

@@ -113,6 +113,26 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing a stream
+        /// mid-sequence. Restoring via [`StdRng::from_state`] continues the
+        /// exact output sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`] output.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro256++ cannot leave
+        /// (and [`SeedableRng::seed_from_u64`] cannot produce).
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            assert!(s != [0; 4], "the all-zero state is invalid");
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;

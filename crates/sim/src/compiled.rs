@@ -123,6 +123,9 @@ impl CompiledSim {
     /// Returns an error if the netlist is invalid or combinationally
     /// cyclic.
     pub fn new(netlist: &Netlist) -> Result<CompiledSim, NetlistError> {
+        if moss_faults::fire(moss_faults::Site::Sim, moss_faults::key(netlist.name())) {
+            return Err(NetlistError::FaultInjected { site: "sim" });
+        }
         let levels = Levelization::of(netlist)?;
         let n = netlist.node_count();
         let zero_slot = n as u32;
@@ -264,6 +267,13 @@ impl CompiledSim {
     /// Writes each combinational node's word as `0` or `1`, so lanes 1–63
     /// of combinational nets are cleared; re-run [`settle_wide`] to restore
     /// full-word state.
+    ///
+    /// ## Termination
+    ///
+    /// Always terminates: the compiled program is a straight-line
+    /// instruction stream in levelized topological order, and
+    /// [`CompiledSim::new`] rejects combinational cycles
+    /// ([`NetlistError::CombinationalCycle`]) before compiling.
     ///
     /// [`settle_wide`]: CompiledSim::settle_wide
     pub fn settle(&mut self) {

@@ -106,6 +106,16 @@ impl GateSim {
     }
 
     /// Propagates pending events until the combinational logic is stable.
+    ///
+    /// ## Termination
+    ///
+    /// Always terminates, by construction: [`GateSim::new`] levelizes the
+    /// netlist and rejects combinational cycles
+    /// ([`NetlistError::CombinationalCycle`]), so every event moves
+    /// strictly upward through the level buckets — a node at level `l` only
+    /// enqueues fanouts at levels `> l`, and a level's bucket drains before
+    /// the next level is visited. No iteration cap is needed; an
+    /// oscillating (cyclic) netlist cannot reach this method.
     pub fn settle(&mut self) {
         for level in 1..self.buckets.len() {
             while let Some(id) = self.buckets[level].pop() {
@@ -144,6 +154,12 @@ impl GateSim {
 
     /// Re-evaluates every node from scratch (used at construction and after
     /// bulk state changes).
+    ///
+    /// ## Termination
+    ///
+    /// One pass over the levelized topological order — bounded by the node
+    /// count. Cyclic combinational netlists are rejected at
+    /// [`GateSim::new`], so the order always covers every node.
     pub fn full_settle(&mut self) {
         for i in 0..self.levels.topo_combinational().len() {
             let id = self.levels.topo_combinational()[i];

@@ -1,0 +1,73 @@
+//! Regression tests for combinational-cycle rejection (ISSUE 5 satellite):
+//! a hand-built feedback loop with no flip-flop on it must be refused by
+//! both simulator constructors — termination of `settle`/`full_settle` is
+//! guaranteed *by construction*, not by an iteration cap, so the
+//! construction-time check is the load-bearing guard.
+
+use moss_netlist::{CellKind, Netlist, NetlistError};
+use moss_sim::{CompiledSim, GateSim};
+
+/// Two inverters feeding each other: `u1 → u2 → u1`, no DFF in the loop.
+fn combinational_ring() -> Netlist {
+    let mut nl = Netlist::new("ring");
+    let a = nl.add_input("a");
+    let g1 = nl.add_cell(CellKind::Inv, "u1", &[a]).unwrap();
+    let g2 = nl.add_cell(CellKind::Inv, "u2", &[g1]).unwrap();
+    nl.replace_fanin(g1, 0, g2).unwrap();
+    nl.add_output("y", g2);
+    nl
+}
+
+/// A NAND latch-style loop buried behind real logic, to make sure the
+/// check is not fooled by acyclic surroundings.
+fn buried_loop() -> Netlist {
+    let mut nl = Netlist::new("buried");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let front = nl.add_cell(CellKind::And2, "front", &[a, b]).unwrap();
+    let n1 = nl.add_cell(CellKind::Nand2, "n1", &[front, b]).unwrap();
+    let n2 = nl.add_cell(CellKind::Nand2, "n2", &[n1, a]).unwrap();
+    nl.replace_fanin(n1, 0, n2).unwrap();
+    let back = nl.add_cell(CellKind::Inv, "back", &[n2]).unwrap();
+    nl.add_output("y", back);
+    nl
+}
+
+#[test]
+fn gatesim_rejects_combinational_cycles() {
+    for nl in [combinational_ring(), buried_loop()] {
+        match GateSim::new(&nl) {
+            Err(NetlistError::CombinationalCycle { .. }) => {}
+            other => panic!("{}: expected CombinationalCycle, got {other:?}", nl.name()),
+        }
+    }
+}
+
+#[test]
+fn compiled_sim_rejects_combinational_cycles() {
+    for nl in [combinational_ring(), buried_loop()] {
+        match CompiledSim::new(&nl) {
+            Err(NetlistError::CombinationalCycle { .. }) => {}
+            other => panic!("{}: expected CombinationalCycle, got {other:?}", nl.name()),
+        }
+    }
+}
+
+#[test]
+fn dff_broken_loops_still_simulate() {
+    // The same ring with a DFF on the feedback path is legal and must
+    // settle (one clock of a toggle loop).
+    let mut nl = Netlist::new("divider");
+    let en = nl.add_input("en");
+    let ff = nl.add_cell(CellKind::Dff, "r0", &[en]).unwrap();
+    let inv = nl.add_cell(CellKind::Inv, "u1", &[ff]).unwrap();
+    nl.replace_fanin(ff, 0, inv).unwrap();
+    nl.add_output("q", ff);
+
+    let mut gate = GateSim::new(&nl).unwrap();
+    gate.full_settle();
+    let before = gate.values()[ff.index()];
+    gate.step();
+    assert_ne!(gate.values()[ff.index()], before, "divider toggles");
+    assert!(CompiledSim::new(&nl).is_ok());
+}

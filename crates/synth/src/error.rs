@@ -14,6 +14,24 @@ pub enum SynthError {
     Rtl(RtlError),
     /// Netlist construction failed (should not happen for valid RTL).
     Netlist(NetlistError),
+    /// A deterministic fault from `moss-faults` (`MOSS_FAULTS`) fired at
+    /// this site — a rehearsed failure, not an organic one.
+    FaultInjected {
+        /// The fault site that fired (e.g. `"synth"`, `"oom-cap"`).
+        site: &'static str,
+    },
+}
+
+impl SynthError {
+    /// True when this error is a rehearsed `moss-faults` injection rather
+    /// than an organic failure (run manifests record the distinction).
+    pub fn is_fault_injected(&self) -> bool {
+        match self {
+            SynthError::FaultInjected { .. } => true,
+            SynthError::Netlist(e) => e.is_fault_injected(),
+            SynthError::Rtl(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for SynthError {
@@ -21,6 +39,7 @@ impl fmt::Display for SynthError {
         match self {
             SynthError::Rtl(e) => write!(f, "rtl error during synthesis: {e}"),
             SynthError::Netlist(e) => write!(f, "netlist error during synthesis: {e}"),
+            SynthError::FaultInjected { site } => write!(f, "injected fault at site '{site}'"),
         }
     }
 }
@@ -30,6 +49,7 @@ impl Error for SynthError {
         match self {
             SynthError::Rtl(e) => Some(e),
             SynthError::Netlist(e) => Some(e),
+            SynthError::FaultInjected { .. } => None,
         }
     }
 }

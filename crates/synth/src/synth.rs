@@ -103,6 +103,9 @@ pub struct SynthResult {
 /// ```
 pub fn synthesize(module: &Module, options: &SynthOptions) -> Result<SynthResult, SynthError> {
     let mut obs = moss_obs::span("synth");
+    if moss_faults::fire(moss_faults::Site::Synth, moss_faults::key(module.name())) {
+        return Err(SynthError::FaultInjected { site: "synth" });
+    }
     // Validate drivers/cycles once via the interpreter's checks.
     moss_rtl::Interpreter::new(module)?;
 

@@ -44,12 +44,19 @@ impl Gradients {
     }
 
     /// Global L2 norm across all gradients.
+    ///
+    /// The per-tensor partial sums are combined in [`ParamId`] order:
+    /// `HashMap` iteration order varies per instance, f32 addition is not
+    /// associative, and this norm feeds the gradient-clip scale — an
+    /// unordered sum would make training nondeterministic in the last ulp.
     pub fn global_norm(&self) -> f32 {
-        self.by_param
-            .values()
-            .map(|g| g.data().iter().map(|&x| x * x).sum::<f32>())
-            .sum::<f32>()
-            .sqrt()
+        let mut partial: Vec<(ParamId, f32)> = self
+            .by_param
+            .iter()
+            .map(|(&id, g)| (id, g.data().iter().map(|&x| x * x).sum::<f32>()))
+            .collect();
+        partial.sort_unstable_by_key(|&(id, _)| id);
+        partial.iter().map(|&(_, s)| s).sum::<f32>().sqrt()
     }
 
     /// Scales all gradients in place (used for clipping).

@@ -61,6 +61,46 @@ impl Adam {
         self.lr
     }
 
+    /// Steps taken so far (drives bias correction; part of the
+    /// checkpointed state).
+    pub fn time_step(&self) -> u64 {
+        self.t
+    }
+
+    /// The first/second-moment accumulators, ordered by [`ParamId`] for
+    /// deterministic serialization. Parameters that never received a
+    /// gradient have no entry.
+    pub fn moments(&self) -> Vec<(ParamId, &Tensor, &Tensor)> {
+        let mut out: Vec<(ParamId, &Tensor, &Tensor)> = self
+            .m
+            .iter()
+            .map(|(&id, m)| (id, m, self.v.get(&id).expect("m and v share keys")))
+            .collect();
+        out.sort_by_key(|&(id, _, _)| id);
+        out
+    }
+
+    /// Rebuilds an optimizer mid-run from checkpointed state: step count
+    /// and per-parameter moment tensors. `clip_norm` is restored to the
+    /// given value (the [`Adam::new`] default is `Some(5.0)`). Stepping the
+    /// result continues the exact update sequence of the checkpointed
+    /// optimizer.
+    pub fn from_state(
+        lr: f32,
+        clip_norm: Option<f32>,
+        t: u64,
+        moments: impl IntoIterator<Item = (ParamId, Tensor, Tensor)>,
+    ) -> Adam {
+        let mut adam = Adam::new(lr);
+        adam.clip_norm = clip_norm;
+        adam.t = t;
+        for (id, m, v) in moments {
+            adam.m.insert(id, m);
+            adam.v.insert(id, v);
+        }
+        adam
+    }
+
     /// Changes the learning rate (e.g. for decay schedules).
     pub fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;

@@ -27,6 +27,9 @@ impl TimingReport {
     /// Returns an error if the netlist is invalid or combinationally cyclic.
     pub fn analyze(netlist: &Netlist, lib: &CellLibrary) -> Result<TimingReport, NetlistError> {
         let _obs = moss_obs::span_items("timing", netlist.node_count() as u64);
+        if moss_faults::fire(moss_faults::Site::Sta, moss_faults::key(netlist.name())) {
+            return Err(NetlistError::FaultInjected { site: "sta" });
+        }
         let levels = Levelization::of(netlist)?;
         let n = netlist.node_count();
 

@@ -9,9 +9,11 @@
 
 use moss::{metrics, MossVariant};
 use moss_bench::pipeline::{build_samples, build_world, train_variant, ExperimentConfig};
+use moss_bench::run::RunManifest;
 use moss_datagen::{random_module, SizeClass};
 
 fn main() {
+    let mut manifest = RunManifest::new("functional_equivalence");
     let mut config = ExperimentConfig::tiny();
     config.train.pretrain_epochs = 8;
     config.train.align_epochs = 25;
@@ -21,12 +23,14 @@ fn main() {
     let train_modules: Vec<moss_rtl::Module> = (0..6u64)
         .map(|s| random_module(0xa11 + s, SizeClass::Small))
         .collect();
-    let train_samples = build_samples(&world, &train_modules);
+    let train_samples =
+        build_samples(&world, &train_modules, &mut manifest).expect("within failure budget");
     println!(
         "training full MOSS with alignment on {} designs…",
         train_samples.len()
     );
-    let run = train_variant(&world, MossVariant::Full, &train_samples);
+    let run = train_variant(&world, MossVariant::Full, &train_samples, &mut manifest)
+        .expect("within failure budget");
 
     // …then shuffle the *training* pairs and recover the pairing.
     let rtl_embs: Vec<Vec<f32>> = run

@@ -6,7 +6,12 @@ use moss_bench::pipeline::{
     averages, build_samples, build_world, evaluate_baseline, evaluate_variant, fep_of,
     train_baseline, train_variant, ExperimentConfig,
 };
+use moss_bench::run::RunManifest;
 use moss_datagen::{random_module, SizeClass};
+
+fn manifest() -> RunManifest {
+    RunManifest::new("pipeline_integration")
+}
 
 fn tiny_world() -> moss_bench::pipeline::World {
     build_world(ExperimentConfig::tiny())
@@ -20,8 +25,9 @@ fn full_moss_trains_end_to_end_and_beats_chance() {
         moss_datagen::prbs_generator(2, 8),
         moss_datagen::shift_reg(6, 6),
     ];
-    let samples = build_samples(&world, &modules);
-    let run = train_variant(&world, MossVariant::Full, &samples);
+    let mut m = manifest();
+    let samples = build_samples(&world, &modules, &mut m).unwrap();
+    let run = train_variant(&world, MossVariant::Full, &samples, &mut m).unwrap();
     // Pre-training must actually reduce the loss…
     let first = run.pretrain.first().expect("epochs ran").total;
     let last = run.pretrain.last().expect("epochs ran").total;
@@ -36,7 +42,7 @@ fn full_moss_trains_end_to_end_and_beats_chance() {
         assert!((0.0..=100.0).contains(&s.trp), "{}: trp {}", s.name, s.trp);
         assert!((0.0..=100.0).contains(&s.pp), "{}: pp {}", s.name, s.pp);
     }
-    let (_, _, pp) = averages(&scores);
+    let (_, _, pp) = averages(&scores).expect("non-empty score table");
     assert!(pp > 50.0, "power accuracy should be well above zero: {pp}");
 }
 
@@ -47,8 +53,9 @@ fn baseline_trains_and_evaluates() {
         moss_datagen::pipeline_reg(3, 6),
         moss_datagen::error_logger(4, 4),
     ];
-    let samples = build_samples(&world, &modules);
-    let run = train_baseline(&world, &samples);
+    let mut m = manifest();
+    let samples = build_samples(&world, &modules, &mut m).unwrap();
+    let run = train_baseline(&world, &samples, &mut m).unwrap();
     let first = run.pretrain.first().expect("epochs ran").total;
     let last = run.pretrain.last().expect("epochs ran").total;
     assert!(last < first, "baseline loss {first} → {last}");
@@ -65,13 +72,14 @@ fn alignment_lifts_fep_above_unaligned_variants() {
     let modules: Vec<_> = (0..5u64)
         .map(|s| random_module(0xfe9 + s, SizeClass::Small))
         .collect();
-    let samples = build_samples(&world, &modules);
+    let mut m = manifest();
+    let samples = build_samples(&world, &modules, &mut m).unwrap();
 
-    let full = train_variant(&world, MossVariant::Full, &samples);
-    let fep_full = fep_of(&world, &full, &full.preps);
+    let full = train_variant(&world, MossVariant::Full, &samples, &mut m).unwrap();
+    let fep_full = fep_of(&world, &full, &full.preps).expect("non-empty group");
 
-    let unaligned = train_variant(&world, MossVariant::WithoutAlignment, &samples);
-    let fep_unaligned = fep_of(&world, &unaligned, &unaligned.preps);
+    let unaligned = train_variant(&world, MossVariant::WithoutAlignment, &samples, &mut m).unwrap();
+    let fep_unaligned = fep_of(&world, &unaligned, &unaligned.preps).expect("non-empty group");
 
     // The full model aligns its own training set essentially perfectly;
     // the unaligned variant's shared space is an untrained projection.
@@ -86,9 +94,10 @@ fn alignment_lifts_fep_above_unaligned_variants() {
 fn every_variant_prepares_and_predicts_every_benchmark() {
     let world = tiny_world();
     // One representative benchmark, all four variants.
-    let samples = build_samples(&world, &[moss_datagen::max_selector(3, 6)]);
+    let mut m = manifest();
+    let samples = build_samples(&world, &[moss_datagen::max_selector(3, 6)], &mut m).unwrap();
     for variant in MossVariant::ALL {
-        let run = train_variant(&world, variant, &samples);
+        let run = train_variant(&world, variant, &samples, &mut m).unwrap();
         let pred = run.model.predict(&run.store, &run.preps[0]);
         assert_eq!(pred.toggle.len(), run.preps[0].cell_nodes.len());
         assert_eq!(pred.arrival_ns.len(), run.preps[0].dff_nodes.len());
@@ -101,8 +110,10 @@ fn ground_truth_pipeline_is_deterministic_across_worlds() {
     let w1 = tiny_world();
     let w2 = tiny_world();
     let m = moss_datagen::prbs_generator(2, 8);
-    let s1 = build_samples(&w1, std::slice::from_ref(&m));
-    let s2 = build_samples(&w2, std::slice::from_ref(&m));
+    let mut mf1 = manifest();
+    let mut mf2 = manifest();
+    let s1 = build_samples(&w1, std::slice::from_ref(&m), &mut mf1).unwrap();
+    let s2 = build_samples(&w2, std::slice::from_ref(&m), &mut mf2).unwrap();
     assert_eq!(s1[0].labels.toggle, s2[0].labels.toggle);
     assert_eq!(s1[0].labels.total_power_nw, s2[0].labels.total_power_nw);
     assert_eq!(s1[0].rtl_text, s2[0].rtl_text);

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-check") => bench_check(&args[1..]),
+        Some("fault-check") => fault_check(),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
             usage();
@@ -44,6 +45,10 @@ fn usage() {
     eprintln!("  bench-check [--tolerance FRACTION]   compare a fresh quick bench run");
     eprintln!("                                       against the committed BENCH_*.json");
     eprintln!("                                       baselines; fail on regression");
+    eprintln!("  fault-check                          run the table1 pipeline with fault");
+    eprintln!("                                       injection armed; fail unless it");
+    eprintln!("                                       degrades gracefully (exit 0, skips");
+    eprintln!("                                       recorded, no NaN in the table)");
     eprintln!("(experiment binaries live in crates/bench)");
 }
 
@@ -120,6 +125,95 @@ fn bench_check(args: &[String]) -> ExitCode {
     } else {
         eprintln!("xtask bench-check: OK — no regressions beyond tolerance");
         ExitCode::SUCCESS
+    }
+}
+
+/// Fault spec for the robustness gate. The seed is pinned so the same
+/// circuits fail on every run — the gate must be deterministic, and at
+/// least one skip must actually fire for the check to mean anything.
+const FAULT_CHECK_SPEC: &str = "synth:0.1:3,sim:0.1:5";
+
+fn fault_check() -> ExitCode {
+    let root = workspace_root();
+    let scratch = root.join("target").join("fault-check");
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!(
+            "xtask fault-check: cannot create {}: {e}",
+            scratch.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let manifest_path = scratch.join("manifest.json");
+    let _ = std::fs::remove_file(&manifest_path);
+
+    eprintln!("# fault-check: running table1 --tiny with MOSS_FAULTS={FAULT_CHECK_SPEC}…");
+    let output = Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "moss-bench",
+            "--bin",
+            "table1",
+            "--",
+            "--tiny",
+        ])
+        .current_dir(&root)
+        .env("MOSS_FAULTS", FAULT_CHECK_SPEC)
+        .env("MOSS_MAX_FAILED_FRAC", "0.5")
+        .env("MOSS_RUN_MANIFEST", &manifest_path)
+        .output();
+    let output = match output {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask fault-check: cannot spawn cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+
+    let mut failures = Vec::new();
+    if !output.status.success() {
+        failures.push(format!(
+            "pipeline exited with {} under injected faults (wanted graceful degradation)",
+            output.status
+        ));
+    }
+    match std::fs::read_to_string(&manifest_path) {
+        Ok(manifest) => {
+            let skips = manifest.matches("\"circuit\":").count();
+            if skips == 0 {
+                failures.push(format!(
+                    "manifest records no skipped circuits — the armed fault sites \
+                     never fired (retune {FAULT_CHECK_SPEC})"
+                ));
+            } else {
+                eprintln!("# fault-check: {skips} circuit(s) skipped and recorded");
+            }
+        }
+        Err(e) => failures.push(format!(
+            "run wrote no manifest at {}: {e}",
+            manifest_path.display()
+        )),
+    }
+    if stdout.contains("NaN") {
+        failures.push("table output contains NaN — degraded averages leaked".to_string());
+    }
+    if !stdout.contains("Table I") {
+        failures.push("table output missing — the run never reached rendering".to_string());
+    }
+
+    if failures.is_empty() {
+        eprintln!("xtask fault-check: OK — pipeline degraded gracefully under injected faults");
+        ExitCode::SUCCESS
+    } else {
+        eprint!("{stderr}");
+        print!("{stdout}");
+        for f in &failures {
+            eprintln!("xtask fault-check: FAIL — {f}");
+        }
+        ExitCode::FAILURE
     }
 }
 

@@ -20,18 +20,39 @@ use moss_tensor::{Blocked, Naive, Parallel, Tensor};
 /// design-level batch.
 const SHAPES: &[(usize, usize, usize)] = &[(256, 16, 16), (2048, 64, 64)];
 
+/// The size-based auto dispatch exercised at the bench shapes (what
+/// `Tensor::matmul` runs when `MOSS_BACKEND` is unset).
+#[derive(Debug)]
+struct Auto;
+
+impl Backend for Auto {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        moss_tensor::for_flops(a.rows() * a.cols() * b.cols()).matmul(a, b)
+    }
+    fn matmul_at_b(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        moss_tensor::for_flops(a.rows() * a.cols() * b.cols()).matmul_at_b(a, b)
+    }
+}
+
 fn main() {
     let mut suite = Suite::new("kernels");
     if std::env::var("MOSS_BENCH_QUICK").is_ok_and(|v| v == "1") {
         suite = suite.with_budget(Duration::from_millis(50), Duration::from_millis(200));
     }
     let parallel = Parallel::new();
-    let backends: [(&str, &dyn Backend); 3] = [
+    let backends: [(&str, &dyn Backend); 4] = [
         ("naive", &Naive),
         ("blocked", &Blocked),
         ("parallel", &parallel),
+        ("auto", &Auto),
     ];
     eprintln!("threads for parallel backend: {}", configured_threads());
+    // Spawn the pool and run SIMD feature detection before any timing
+    // starts, so no bench row inherits one-time setup cost.
+    moss_tensor::pool::warm_up();
 
     for &(m, k, n) in SHAPES {
         let a = Tensor::xavier(m, k, 1);

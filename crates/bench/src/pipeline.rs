@@ -5,8 +5,9 @@
 //!
 //! Per-sample stages (ground-truth generation, preparation, evaluation)
 //! are independent across samples, so they fan out through
-//! [`moss_tensor::par_map`]: deterministic ordered results, thread count
-//! from `MOSS_THREADS`.
+//! [`moss_tensor::par_map`] onto the persistent work-stealing pool
+//! (`moss_tensor::pool`): deterministic ordered results, thread count from
+//! `MOSS_THREADS`, no per-call thread spawning.
 //!
 //! Every fallible per-circuit stage degrades per circuit instead of
 //! panicking: a failing circuit is skipped, recorded in the

@@ -104,6 +104,12 @@ impl Suite {
         items: Option<u64>,
         mut f: F,
     ) -> &Measurement {
+        // The very first call pays any one-time lazy initialization in the
+        // benched code (thread-pool spawn, SIMD feature detection, …). Run
+        // it outside the timed window so it can skew neither the
+        // per-iteration estimate below nor the first measured batch.
+        f();
+
         // Warmup: run until the budget elapses so caches/branch predictors
         // settle and we can estimate a per-iteration cost.
         let warm_start = Instant::now();

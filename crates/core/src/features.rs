@@ -70,7 +70,8 @@ pub fn build_node_features(
     let max_level = levels.max_level().max(1) as f32;
 
     // Cache cell-description embeddings per kind (the expensive part);
-    // `embed_batch` fans the independent forwards out over threads.
+    // `embed_batch` fans the independent forwards out over the persistent
+    // moss-tensor thread pool.
     let mut kind_emb: HashMap<CellKind, Vec<f32>> = HashMap::new();
     if options.llm_enhancement {
         let descs: Vec<&str> = CellKind::ALL.iter().map(|k| k.description()).collect();

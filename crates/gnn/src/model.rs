@@ -272,7 +272,8 @@ impl CircuitGnn {
             // Fuse the per-pin projections into one stacked matmul: matmul
             // is row-independent, so projecting the row-concatenation and
             // gathering it back per pin is exactly the per-pin result while
-            // handing the backend one large matrix to thread over.
+            // handing the backend one large matrix whose row blocks the
+            // persistent pool can spread across workers.
             let rows = group.nodes.len();
             let stacked_pins = g.concat_rows(&pin_states);
             let stacked_values = g.matmul(stacked_pins, wv);

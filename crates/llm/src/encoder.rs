@@ -350,9 +350,10 @@ impl TextEncoder {
         if body.len() <= window {
             return self.embed_text(store, text);
         }
-        // Each window forwards independently; `par_map` keeps chunk order,
-        // and the fold below stays sequential, so the result is identical
-        // to the single-threaded loop at any thread count.
+        // Each window forwards independently; `par_map` fans them out over
+        // the persistent moss-tensor pool, keeps chunk order, and the fold
+        // below stays sequential, so the result is identical to the
+        // single-threaded loop at any thread count.
         let chunks: Vec<&[usize]> = body.chunks(window).collect();
         let pooled = moss_tensor::par_map(&chunks, |_, chunk| {
             let mut tokens = Vec::with_capacity(chunk.len() + 1);
@@ -371,8 +372,9 @@ impl TextEncoder {
     }
 
     /// Embeds a batch of texts, fanning the independent forwards out over
-    /// the configured thread pool. Results are in input order and
-    /// bit-identical to sequential [`TextEncoder::embed_text`] calls.
+    /// the persistent work-stealing pool (`moss_tensor::pool`). Results are
+    /// in input order and bit-identical to sequential
+    /// [`TextEncoder::embed_text`] calls.
     pub fn embed_batch<S: AsRef<str> + Sync>(
         &self,
         store: &ParamStore,

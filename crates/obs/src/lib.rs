@@ -68,6 +68,7 @@ impl Default for SpanStat {
 struct Collector {
     spans: Mutex<HashMap<String, SpanStat>>,
     counters: Mutex<HashMap<&'static str, u64>>,
+    gauges: Mutex<HashMap<&'static str, u64>>,
     start: Mutex<Instant>,
 }
 
@@ -86,6 +87,7 @@ fn collector() -> &'static Collector {
     COLLECTOR.get_or_init(|| Collector {
         spans: Mutex::new(HashMap::new()),
         counters: Mutex::new(HashMap::new()),
+        gauges: Mutex::new(HashMap::new()),
         start: Mutex::new(Instant::now()),
     })
 }
@@ -120,6 +122,7 @@ pub fn reset() {
     let c = collector();
     c.spans.lock().unwrap().clear();
     c.counters.lock().unwrap().clear();
+    c.gauges.lock().unwrap().clear();
     *c.start.lock().unwrap() = Instant::now();
 }
 
@@ -199,6 +202,19 @@ pub fn counter(name: &'static str, delta: u64) {
         .or_insert(0) += delta;
 }
 
+/// Records `value` into the max-keeping gauge `name` — the report shows
+/// the high-water mark across the run (no-op when disabled). Used for
+/// instantaneous quantities like the thread pool's queue depth, where a
+/// monotonic counter would be meaningless.
+pub fn gauge_max(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut gauges = collector().gauges.lock().unwrap();
+    let slot = gauges.entry(name).or_insert(0);
+    *slot = (*slot).max(value);
+}
+
 /// Serializes everything collected so far as a JSON run-report
 /// (hand-rolled, matching the `moss-benchkit` report style).
 pub fn report_json() -> String {
@@ -257,6 +273,20 @@ pub fn report_json() -> String {
             out,
             "\n    {{\"name\": {name:?}, \"value\": {}}}",
             counters[*name]
+        );
+    }
+    out.push_str("\n  ],\n  \"gauges\": [");
+    let gauges = c.gauges.lock().unwrap();
+    let mut gnames: Vec<&&'static str> = gauges.keys().collect();
+    gnames.sort();
+    for (i, name) in gnames.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": {name:?}, \"max\": {}}}",
+            gauges[*name]
         );
     }
     out.push_str("\n  ]\n}\n");
@@ -337,6 +367,12 @@ pub fn human_summary() -> String {
     for name in cnames {
         let _ = writeln!(out, "counter {:<36} {:>16}", name, counters[name]);
     }
+    let gauges = c.gauges.lock().unwrap();
+    let mut gnames: Vec<&&'static str> = gauges.keys().collect();
+    gnames.sort();
+    for name in gnames {
+        let _ = writeln!(out, "gauge   {:<36} {:>12} max", name, gauges[name]);
+    }
     out
 }
 
@@ -408,6 +444,25 @@ mod tests {
             json.contains("{\"name\": \"unit_counter\", \"value\": 5}"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn gauges_keep_the_maximum() {
+        let _l = locked();
+        set_enabled(true);
+        gauge_max("unit_gauge", 4);
+        gauge_max("unit_gauge", 9);
+        gauge_max("unit_gauge", 2);
+        let json = report_json();
+        assert!(
+            json.contains("{\"name\": \"unit_gauge\", \"max\": 9}"),
+            "{json}"
+        );
+        assert!(human_summary().contains("unit_gauge"));
+        set_enabled(false);
+        gauge_max("unit_gauge_disabled", 1);
+        set_enabled(true);
+        assert!(!report_json().contains("unit_gauge_disabled"));
     }
 
     #[test]

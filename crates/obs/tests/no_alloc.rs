@@ -32,6 +32,7 @@ fn disabled_span_path_does_not_allocate() {
         let _g = moss_obs::span("warmup");
     }
     moss_obs::counter("warmup", 1);
+    moss_obs::gauge_max("warmup_gauge", 1);
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for i in 0..10_000u64 {
@@ -39,6 +40,7 @@ fn disabled_span_path_does_not_allocate() {
         g.add_items(i & 7);
         drop(g);
         moss_obs::counter("hot_counter", 1);
+        moss_obs::gauge_max("hot_gauge", i);
         assert!(!moss_obs::enabled());
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);

@@ -12,7 +12,9 @@
 //!   (smooth-L1 for Etoggle/EAT/RrNdM/RNM; symmetric row/column
 //!   cross-entropy for the CLIP-style RNC loss of Fig. 6);
 //! - [`Backend`] ([`Naive`]/[`Blocked`]/[`Parallel`]): pluggable compute
-//!   backends every dense kernel dispatches through — see [`backend`];
+//!   backends every dense kernel dispatches through — see [`backend`].
+//!   The fast paths run runtime-dispatched SIMD microkernels ([`simd`])
+//!   over a persistent work-stealing thread pool ([`pool`]);
 //! - [`ParamStore`]/[`Adam`]/[`Sgd`]: named parameters and optimizers;
 //! - [`max_gradient_error`]: finite-difference gradient checking;
 //! - [`save_params`]/[`load_params`]: binary checkpoints.
@@ -43,13 +45,16 @@ mod gradcheck;
 mod graph;
 mod optim;
 mod params;
+pub mod pool;
 mod serialize;
+pub mod simd;
 mod tensor;
 
-pub use backend::{par_map, Backend, Blocked, Naive, Parallel};
+pub use backend::{for_flops, par_map, Backend, Blocked, Naive, Parallel};
 pub use gradcheck::{max_gradient_error, max_gradient_error_with_backend};
 pub use graph::{l2_normalize_rows, layer_norm_rows, softmax_rows, Gradients, Graph, Var};
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use pool::{PoolStats, ThreadPool};
 pub use serialize::{load_params, save_params};
 pub use tensor::Tensor;

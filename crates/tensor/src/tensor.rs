@@ -155,7 +155,8 @@ impl Tensor {
     }
 
     /// Matrix product `self × rhs`, dispatched through the process-wide
-    /// active compute backend (see [`crate::backend::active`]).
+    /// compute backend by problem size (see [`crate::backend::for_flops`];
+    /// an explicit `MOSS_BACKEND` pins the backend at every size).
     ///
     /// # Panics
     ///
@@ -166,7 +167,9 @@ impl Tensor {
             "matmul shape mismatch: {}×{} × {}×{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        crate::backend::active().matmul(self, rhs)
+        // Size-based dispatch: small products skip the parallel backend's
+        // pool machinery entirely (see `backend::for_flops`).
+        crate::backend::for_flops(self.rows * self.cols * rhs.cols).matmul(self, rhs)
     }
 
     /// The transpose.

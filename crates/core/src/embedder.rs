@@ -1,0 +1,271 @@
+//! Serving-oriented embedding of bare gate-level netlists.
+//!
+//! The training pipeline prepares circuits through [`MossModel::prepare`],
+//! which needs the RTL side of a sample (register prompts, bindings, the
+//! whole-RTL text). A serving request carries none of that — just a
+//! structural netlist — and must not pay an encoder forward pass per
+//! request. [`NetlistEmbedder`] exploits the fact that everything the LLM
+//! modality contributes to a *bare* netlist is circuit-independent: the 18
+//! cell-kind description embeddings and the kind-vocabulary clustering
+//! (Fig. 5) depend only on the model, so both are computed once at
+//! construction. Per-request work is then purely structural: features,
+//! schedule, one GNN forward, one alignment projection.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use moss_gnn::{cluster_nodes, CircuitGraph, ClusterConfig, Clustering};
+use moss_llm::{EncoderConfig, TextEncoder};
+use moss_netlist::{CellKind, Netlist, NetlistError, NodeKind};
+use moss_tensor::ParamStore;
+
+use crate::checkpoint::load_checkpoint_file;
+use crate::features::{build_node_features_with, FeatureOptions};
+use crate::model::{MossConfig, MossModel};
+
+/// Seed for any parameter the checkpoint did not carry. Parameters bind by
+/// name via `get_or_add`, so for a complete checkpoint the seed is inert.
+const BIND_SEED: u64 = 0x5e12e;
+
+/// A loaded MOSS model specialized for embedding bare netlists: weights,
+/// precomputed cell-kind embeddings, and the fixed kind-vocabulary
+/// clustering.
+#[derive(Debug)]
+pub struct NetlistEmbedder {
+    model: MossModel,
+    store: ParamStore,
+    /// L2-unnormalized cell-kind description embeddings (normalization
+    /// happens inside feature construction, as in the pipeline).
+    kind_emb: HashMap<CellKind, Vec<f32>>,
+    /// Aggregator assignment per cell-kind index, plus the cluster count
+    /// and the wire-like cluster ports ride with.
+    kind_assignment: Vec<usize>,
+    cluster_count: usize,
+    wire_cluster: usize,
+    /// Empty maps: bare netlists carry no register prompts.
+    no_regs: HashMap<String, Vec<f32>>,
+    no_bindings: HashMap<usize, String>,
+}
+
+/// The encoder preset the pipeline pairs with a given LLM width: `tiny`
+/// for 16, `small` for 32, otherwise `tiny` with the width overridden.
+fn encoder_config_for(d_llm: usize) -> EncoderConfig {
+    if d_llm == EncoderConfig::small().d_model {
+        EncoderConfig::small()
+    } else {
+        EncoderConfig {
+            d_model: d_llm,
+            ..EncoderConfig::tiny()
+        }
+    }
+}
+
+impl NetlistEmbedder {
+    /// Builds an embedder from a config + parameter store (typically a
+    /// loaded checkpoint; a fresh store gets deterministic random init).
+    pub fn new(config: MossConfig, mut store: ParamStore) -> NetlistEmbedder {
+        let encoder = TextEncoder::new(encoder_config_for(config.d_llm), &mut store, BIND_SEED);
+        let model = MossModel::new(config, &mut store, BIND_SEED);
+
+        // Cell-kind description embeddings — the whole LLM contribution to
+        // a bare netlist, computed once.
+        let mut kind_emb: HashMap<CellKind, Vec<f32>> = HashMap::new();
+        if config.variant.llm_features() {
+            let descs: Vec<&str> = CellKind::ALL.iter().map(|k| k.description()).collect();
+            let embs = encoder.embed_batch(&store, &descs);
+            for (kind, e) in CellKind::ALL.into_iter().zip(embs) {
+                kind_emb.insert(kind, e.data().to_vec());
+            }
+        }
+
+        // Kind-vocabulary clustering, mirroring `MossModel::prepare` op
+        // for op so served circuits see the same aggregator assignment the
+        // model trained with.
+        let (kind_assignment, cluster_count) = if config.variant.adaptive_aggregator() {
+            let kind_embs: Vec<Vec<f32>> = CellKind::ALL
+                .iter()
+                .map(|k| kind_emb.get(k).cloned().unwrap_or_default())
+                .collect();
+            let kind_struct: Vec<(f32, f32)> = CellKind::ALL
+                .iter()
+                .map(|k| (k.input_count() as f32, 1.0))
+                .collect();
+            let kinds = cluster_nodes(
+                &kind_embs,
+                &kind_struct,
+                &ClusterConfig {
+                    eps: config.cluster_eps,
+                    min_pts: 2,
+                    max_clusters: config.aggregators,
+                    structure_weight: 0.25,
+                },
+            );
+            debug_assert!(kinds.count <= config.aggregators);
+            (kinds.assignment, kinds.count)
+        } else {
+            (vec![0; CellKind::ALL.len()], 1)
+        };
+        let wire_cluster = kind_assignment[CellKind::Buf.index()];
+
+        NetlistEmbedder {
+            model,
+            store,
+            kind_emb,
+            kind_assignment,
+            cluster_count,
+            wire_cluster,
+            no_regs: HashMap::new(),
+            no_bindings: HashMap::new(),
+        }
+    }
+
+    /// Loads a MOSSCKP2 checkpoint and builds an embedder around it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint I/O and validation errors.
+    pub fn from_checkpoint_file<P: AsRef<Path>>(path: P) -> io::Result<NetlistEmbedder> {
+        let (config, store) = load_checkpoint_file(path)?;
+        Ok(NetlistEmbedder::new(config, store))
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &MossConfig {
+        self.model.config()
+    }
+
+    /// Width of the served embedding (the alignment space `d_align`).
+    pub fn embedding_dim(&self) -> usize {
+        self.model.config().d_align
+    }
+
+    /// Builds the propagation-ready graph for one netlist: features from
+    /// the precomputed tables, the fixed kind clustering, and the
+    /// level/cluster/arity schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist cannot be levelized (a
+    /// combinational cycle).
+    pub fn prepare(&self, netlist: &Netlist) -> Result<CircuitGraph, NetlistError> {
+        let _sp = moss_obs::span_items("serve.prepare", netlist.node_count() as u64);
+        let config = self.model.config();
+        let options = FeatureOptions {
+            llm_enhancement: config.variant.llm_features(),
+        };
+        let features = build_node_features_with(
+            netlist,
+            config.d_llm,
+            &self.kind_emb,
+            &self.no_regs,
+            &self.no_bindings,
+            &options,
+        )?;
+        let assignment: Vec<usize> = netlist
+            .node_ids()
+            .map(|id| match netlist.kind(id) {
+                NodeKind::Cell(k) => self.kind_assignment[k.index()],
+                // Ports ride with the buffer (wire-like) family.
+                _ => self.wire_cluster,
+            })
+            .collect();
+        let clusters = Clustering {
+            assignment,
+            count: self.cluster_count,
+        };
+        CircuitGraph::new(netlist, features.matrix, clusters)
+    }
+
+    /// Embeds several prepared circuits in one fused forward pass (one
+    /// tape, parameters loaded once). Each returned vector is the
+    /// L2-normalized alignment-space embedding (`d_align` floats) and is
+    /// bit-identical to embedding that circuit alone — see
+    /// [`moss_gnn::CircuitGnn::forward_batch`] for the argument.
+    pub fn embed_graphs(&self, circuits: &[&CircuitGraph]) -> Vec<Vec<f32>> {
+        self.model.netlist_align_batch(&self.store, circuits)
+    }
+
+    /// Prepares and embeds one netlist (the unbatched convenience path).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist cannot be levelized.
+    pub fn embed(&self, netlist: &Netlist) -> Result<Vec<f32>, NetlistError> {
+        let circuit = self.prepare(netlist)?;
+        let mut out = self.embed_graphs(&[&circuit]);
+        Ok(out.pop().expect("one circuit in, one embedding out"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MossVariant;
+    use moss_netlist::parse_verilog;
+
+    fn demo_netlist() -> Netlist {
+        parse_verilog(
+            "module t (input a, input b, output y);
+               wire n_u1; wire n_r0; wire n_u2;
+               NAND2_X1 u1 (.A(a), .B(b), .Y(n_u1));
+               DFF_X1 r0 (.D(n_u1), .Q(n_r0));
+               XOR2_X1 u2 (.A(n_r0), .B(a), .Y(n_u2));
+               assign y = n_u2;
+             endmodule",
+        )
+        .unwrap()
+    }
+
+    fn embedder() -> NetlistEmbedder {
+        let config = MossConfig::small(16, MossVariant::Full);
+        NetlistEmbedder::new(config, ParamStore::new())
+    }
+
+    #[test]
+    fn embeds_bare_netlists_with_unit_norm() {
+        let e = embedder();
+        let emb = e.embed(&demo_netlist()).unwrap();
+        assert_eq!(emb.len(), e.embedding_dim());
+        let norm: f32 = emb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4, "unit norm, got {norm}");
+    }
+
+    #[test]
+    fn batch_matches_single_bit_for_bit() {
+        let e = embedder();
+        let nl1 = demo_netlist();
+        let nl2 = parse_verilog(
+            "module u (input a, output y);
+               wire n_u1;
+               INV_X1 u1 (.A(a), .Y(n_u1));
+               assign y = n_u1;
+             endmodule",
+        )
+        .unwrap();
+        let c1 = e.prepare(&nl1).unwrap();
+        let c2 = e.prepare(&nl2).unwrap();
+        let batched = e.embed_graphs(&[&c1, &c2]);
+        assert_eq!(batched[0], e.embed(&nl1).unwrap());
+        assert_eq!(batched[1], e.embed(&nl2).unwrap());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = embedder().embed(&demo_netlist()).unwrap();
+        let b = embedder().embed(&demo_netlist()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn combinational_cycle_is_an_error_not_a_panic() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let g1 = nl.add_cell(CellKind::And2, "u1", &[a, a]).unwrap();
+        let g2 = nl.add_cell(CellKind::Inv, "u2", &[g1]).unwrap();
+        nl.replace_fanin(g1, 1, g2).unwrap();
+        nl.add_output("y", g2);
+        let e = embedder();
+        assert!(e.prepare(&nl).is_err());
+    }
+}

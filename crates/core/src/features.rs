@@ -64,10 +64,7 @@ pub fn build_node_features(
     bindings: &[DffBinding],
     options: &FeatureOptions,
 ) -> Result<NodeFeatures, moss_netlist::NetlistError> {
-    let levels = Levelization::of(netlist)?;
-    let n = netlist.node_count();
     let d_llm = encoder.config().d_model;
-    let max_level = levels.max_level().max(1) as f32;
 
     // Cache cell-description embeddings per kind (the expensive part);
     // `embed_batch` fans the independent forwards out over the persistent
@@ -81,18 +78,39 @@ pub fn build_node_features(
         }
     }
     // Register-prompt embeddings per register name.
-    let mut reg_emb: HashMap<&str, Vec<f32>> = HashMap::new();
+    let mut reg_emb: HashMap<String, Vec<f32>> = HashMap::new();
     if options.llm_enhancement {
         let prompts: Vec<&str> = register_descs.iter().map(|rd| rd.prompt.as_str()).collect();
         let embs = encoder.embed_batch(store, &prompts);
         for (rd, e) in register_descs.iter().zip(embs) {
-            reg_emb.insert(rd.name.as_str(), e.data().to_vec());
+            reg_emb.insert(rd.name.clone(), e.data().to_vec());
         }
     }
-    let dff_to_reg: HashMap<usize, &str> = bindings
+    let dff_to_reg: HashMap<usize, String> = bindings
         .iter()
-        .map(|b| (b.dff.index(), b.register_name.as_str()))
+        .map(|b| (b.dff.index(), b.register_name.clone()))
         .collect();
+
+    build_node_features_with(netlist, d_llm, &kind_emb, &reg_emb, &dff_to_reg, options)
+}
+
+/// The table-driven core of [`build_node_features`]: structural features
+/// plus LLM lookups from *precomputed* embedding maps. A serving layer
+/// precomputes the (circuit-independent) cell-kind embeddings once at
+/// startup and calls this per request, so no encoder forward pass sits on
+/// the request path; the training pipeline goes through the public wrapper
+/// above. One shared implementation keeps the two paths bit-identical.
+pub(crate) fn build_node_features_with(
+    netlist: &Netlist,
+    d_llm: usize,
+    kind_emb: &HashMap<CellKind, Vec<f32>>,
+    reg_emb: &HashMap<String, Vec<f32>>,
+    dff_to_reg: &HashMap<usize, String>,
+    options: &FeatureOptions,
+) -> Result<NodeFeatures, moss_netlist::NetlistError> {
+    let levels = Levelization::of(netlist)?;
+    let n = netlist.node_count();
+    let max_level = levels.max_level().max(1) as f32;
 
     let mut matrix = Tensor::zeros(n, STRUCT_DIM + d_llm);
     let mut llm_vectors = Vec::with_capacity(n);

@@ -57,6 +57,7 @@
 
 mod checkpoint;
 mod deepseq2;
+mod embedder;
 mod features;
 pub mod metrics;
 mod model;
@@ -68,6 +69,7 @@ pub use checkpoint::{
     save_checkpoint, save_checkpoint_file, save_training_checkpoint, save_training_checkpoint_file,
 };
 pub use deepseq2::{DeepSeq2, DeepSeq2Config, DeepSeq2Losses};
+pub use embedder::NetlistEmbedder;
 pub use features::{build_node_features, FeatureOptions, NodeFeatures, STRUCT_DIM};
 pub use model::{LocalLosses, MossConfig, MossModel, MossVariant, Predictions, Prepared};
 pub use sample::{CircuitSample, Labels, SampleOptions};

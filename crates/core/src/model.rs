@@ -533,6 +533,29 @@ impl MossModel {
         (graph_emb, dff_states)
     }
 
+    /// Fused batched inference: runs the GNN over several circuits on one
+    /// tape (parameters loaded once) and returns each circuit's
+    /// L2-normalized alignment-space embedding (`d_align` floats) — the
+    /// exact values [`MossModel::predict`] reports as `netlist_align`,
+    /// bit-for-bit, regardless of batch composition (see
+    /// [`moss_gnn::CircuitGnn::forward_batch`]).
+    pub fn netlist_align_batch(
+        &self,
+        store: &ParamStore,
+        circuits: &[&CircuitGraph],
+    ) -> Vec<Vec<f32>> {
+        let mut g = Graph::new();
+        let outs = self.gnn.forward_batch(&mut g, store, circuits);
+        let wn = g.param(self.w_n, store);
+        outs.into_iter()
+            .map(|out| {
+                let proj = g.matmul(out.graph_embedding, wn);
+                let aligned = g.l2_normalize_rows(proj);
+                g.value(aligned).data().to_vec()
+            })
+            .collect()
+    }
+
     /// Alignment-space netlist embedding from a frozen graph embedding.
     pub fn netlist_align_frozen(&self, g: &mut Graph, store: &ParamStore, emb: &Tensor) -> Var {
         let e = g.input(emb.clone());

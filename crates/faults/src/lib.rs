@@ -24,6 +24,7 @@
 //! | `sta`     | static timing / power labeling                        |
 //! | `io`      | checkpoint file save/load                             |
 //! | `nan`     | a training step's losses become NaN                   |
+//! | `serve`   | a serving request's batch-forward stage (moss-serve)  |
 //! | `oom-cap` | circuits above `rate` cells are rejected (a cell cap) |
 //!
 //! `rate` is a probability in `[0, 1]` (for `oom-cap` it is a cell count).
@@ -65,11 +66,20 @@ pub enum Site {
     Io,
     /// Training-step losses forced to NaN.
     Nan,
+    /// A serving request's decode/forward stage (moss-serve).
+    Serve,
 }
 
 impl Site {
     /// All probabilistic sites (the `oom-cap` threshold site is separate).
-    pub const ALL: [Site; 5] = [Site::Synth, Site::Sim, Site::Sta, Site::Io, Site::Nan];
+    pub const ALL: [Site; 6] = [
+        Site::Synth,
+        Site::Sim,
+        Site::Sta,
+        Site::Io,
+        Site::Nan,
+        Site::Serve,
+    ];
 
     /// The site's spelling in `MOSS_FAULTS` and in error messages.
     pub fn name(self) -> &'static str {
@@ -79,6 +89,7 @@ impl Site {
             Site::Sta => "sta",
             Site::Io => "io",
             Site::Nan => "nan",
+            Site::Serve => "serve",
         }
     }
 
@@ -89,6 +100,7 @@ impl Site {
             Site::Sta => 2,
             Site::Io => 3,
             Site::Nan => 4,
+            Site::Serve => 5,
         }
     }
 
@@ -99,6 +111,7 @@ impl Site {
             Site::Sta => "faults.injected.sta",
             Site::Io => "faults.injected.io",
             Site::Nan => "faults.injected.nan",
+            Site::Serve => "faults.injected.serve",
         }
     }
 }
@@ -106,8 +119,8 @@ impl Site {
 /// A parsed `MOSS_FAULTS` specification.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultConfig {
-    rates: [f64; 5],
-    seeds: [u64; 5],
+    rates: [f64; 6],
+    seeds: [u64; 6],
     oom_cap: Option<u64>,
 }
 
@@ -120,7 +133,7 @@ impl FaultConfig {
     /// unparsable number, or a probability outside `[0, 1]`.
     pub fn parse(spec: &str) -> Result<FaultConfig, String> {
         let mut config = FaultConfig {
-            seeds: [DEFAULT_SEED; 5],
+            seeds: [DEFAULT_SEED; 6],
             ..FaultConfig::default()
         };
         for entry in spec.split(',') {
@@ -294,6 +307,16 @@ mod tests {
         assert_eq!(c.seeds[Site::Sim.index()], 99);
         assert_eq!(c.oom_cap, Some(2000));
         assert!(!c.is_inert());
+    }
+
+    #[test]
+    fn serve_site_parses_and_fires() {
+        let c = FaultConfig::parse("serve:1.0:5").unwrap();
+        assert_eq!(c.rates[Site::Serve.index()], 1.0);
+        assert_eq!(c.seeds[Site::Serve.index()], 5);
+        override_for_tests(Some("serve:1.0"));
+        assert!(fire(Site::Serve, key("any-circuit")));
+        override_for_tests(None);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod canon;
 mod cell;
 mod cone;
 mod error;
@@ -48,6 +49,7 @@ mod library;
 mod stats;
 mod verilog;
 
+pub use canon::{canonical_form, canonical_hash};
 pub use cell::CellKind;
 pub use cone::{dff_cone_sizes, fanin_cone, register_adjacency};
 pub use error::NetlistError;

@@ -1,0 +1,119 @@
+//! A minimal blocking client for the serve protocol.
+
+use std::io::{self, BufReader, ErrorKind};
+use std::net::TcpStream;
+
+use crate::protocol::{
+    decode_embedding, decode_error, read_frame, write_frame, FrameReadError, OP_EMBED,
+    OP_EMBEDDING, OP_ERROR, OP_STATS, OP_STATS_REPLY,
+};
+
+/// What the server said about one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The embedding, decoded from `f32 LE` wire bytes.
+    Embedding(Vec<f32>),
+    /// A typed error frame.
+    Error {
+        /// The `ErrorCode` wire value.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One connection to a serve endpoint. Requests are serial per client;
+/// run several clients for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7744"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn roundtrip(&mut self, op: u8, payload: &[u8]) -> io::Result<(u8, Vec<u8>)> {
+        write_frame(&mut self.writer, op, payload)?;
+        match read_frame(&mut self.reader) {
+            Ok(Some(f)) => Ok((f.op, f.payload)),
+            Ok(None) => Err(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Err(FrameReadError::Io(e)) => Err(e),
+            Err(FrameReadError::Oversized(_)) => Err(bad_data("oversized reply frame")),
+        }
+    }
+
+    /// Sends one netlist (structural Verilog text) and returns the
+    /// server's reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; server-side failures arrive as
+    /// [`Reply::Error`].
+    pub fn embed(&mut self, verilog: &str) -> io::Result<Reply> {
+        let (op, payload) = self.roundtrip(OP_EMBED, verilog.as_bytes())?;
+        match op {
+            OP_EMBEDDING => decode_embedding(&payload)
+                .map(Reply::Embedding)
+                .ok_or_else(|| bad_data("malformed embedding payload")),
+            OP_ERROR => {
+                let (code, message) =
+                    decode_error(&payload).ok_or_else(|| bad_data("malformed error payload"))?;
+                Ok(Reply::Error { code, message })
+            }
+            other => Err(bad_data(&format!("unexpected reply opcode 0x{other:02x}"))),
+        }
+    }
+
+    /// Like [`Client::embed`] but returns the raw `OP_EMBEDDING` payload
+    /// bytes, for bit-identity assertions.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a typed error frame mapped to
+    /// `ErrorKind::Other`.
+    pub fn embed_raw(&mut self, verilog: &str) -> io::Result<Vec<u8>> {
+        let (op, payload) = self.roundtrip(OP_EMBED, verilog.as_bytes())?;
+        match op {
+            OP_EMBEDDING => Ok(payload),
+            OP_ERROR => {
+                let (code, message) = decode_error(&payload).unwrap_or((0, String::new()));
+                Err(io::Error::other(format!("server error {code}: {message}")))
+            }
+            other => Err(bad_data(&format!("unexpected reply opcode 0x{other:02x}"))),
+        }
+    }
+
+    /// Fetches the server's statistics JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-stats reply.
+    pub fn stats(&mut self) -> io::Result<String> {
+        let (op, payload) = self.roundtrip(OP_STATS, &[])?;
+        if op != OP_STATS_REPLY {
+            return Err(bad_data("unexpected reply to stats request"));
+        }
+        String::from_utf8(payload).map_err(|_| bad_data("stats reply is not UTF-8"))
+    }
+}

@@ -1,0 +1,512 @@
+//! The micro-batching embedding server.
+//!
+//! One accept loop, one connection thread per client, one scheduler
+//! thread. Connection threads decode requests (parse → canonical hash →
+//! feature/schedule preparation), answer cache hits immediately, and
+//! enqueue misses. The scheduler collects jobs for up to
+//! [`ServeConfig::batch_window`] (or until [`ServeConfig::max_batch`]
+//! jobs are waiting), dedups them by canonical hash, runs **one** fused
+//! GNN forward over the unique circuits, and fans the resulting bytes
+//! back to every waiter.
+//!
+//! Determinism: every tensor op on the forward path is row-independent
+//! (see `CircuitGnn::forward_batch`), so the bytes a client receives do
+//! not depend on who else happened to share its batch. That is what
+//! makes the embedding cache sound — a cached reply is bit-identical to
+//! a recomputed one — and it is pinned by `tests/serve_integration.rs`.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use moss::NetlistEmbedder;
+use moss_gnn::CircuitGraph;
+use moss_netlist::{canonical_hash, parse_verilog, Netlist};
+
+use crate::protocol::{
+    error_payload, read_frame, write_frame, ErrorCode, FrameReadError, OP_EMBED, OP_EMBEDDING,
+    OP_ERROR, OP_STATS, OP_STATS_REPLY,
+};
+
+/// Tuning knobs, each overridable from the environment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How long the scheduler waits for more jobs after the first one
+    /// arrives (`MOSS_SERVE_BATCH_MS`, default 2 ms).
+    pub batch_window: Duration,
+    /// Jobs per fused forward (`MOSS_SERVE_MAX_BATCH`, default 16).
+    pub max_batch: usize,
+    /// Embedding-cache entries before inserts stop
+    /// (`MOSS_SERVE_CACHE_CAP`, default 4096).
+    pub cache_cap: usize,
+    /// Bounded scheduler queue; a full queue rejects with `Overload`
+    /// (`MOSS_SERVE_QUEUE_CAP`, default 256).
+    pub queue_cap: usize,
+    /// Per-connection read timeout so a stalled client cannot pin a
+    /// thread forever (`MOSS_SERVE_READ_TIMEOUT_MS`, default 10 s).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch_window: Duration::from_millis(2),
+            max_batch: 16,
+            cache_cap: 4096,
+            queue_cap: 256,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `MOSS_SERVE_*` environment variables.
+    pub fn from_env() -> ServeConfig {
+        let mut c = ServeConfig::default();
+        if let Some(ms) = env_u64("MOSS_SERVE_BATCH_MS") {
+            c.batch_window = Duration::from_millis(ms);
+        }
+        if let Some(n) = env_u64("MOSS_SERVE_MAX_BATCH") {
+            c.max_batch = (n as usize).max(1);
+        }
+        if let Some(n) = env_u64("MOSS_SERVE_CACHE_CAP") {
+            c.cache_cap = n as usize;
+        }
+        if let Some(n) = env_u64("MOSS_SERVE_QUEUE_CAP") {
+            c.queue_cap = (n as usize).max(1);
+        }
+        if let Some(ms) = env_u64("MOSS_SERVE_READ_TIMEOUT_MS") {
+            c.read_timeout = Duration::from_millis(ms.max(1));
+        }
+        c
+    }
+}
+
+/// Monotonic serving counters, readable over [`OP_STATS`].
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Embed requests accepted off the wire.
+    pub requests: AtomicU64,
+    /// Requests answered by a forward pass.
+    pub embedded: AtomicU64,
+    /// Requests answered from the embedding cache.
+    pub cache_hits: AtomicU64,
+    /// Requests answered with an error frame.
+    pub errors: AtomicU64,
+    /// Requests rejected because the queue was full.
+    pub rejected: AtomicU64,
+    /// Fused forward passes run.
+    pub batches: AtomicU64,
+    /// Jobs across all fused forward passes.
+    pub batched_requests: AtomicU64,
+    /// Largest batch observed.
+    pub max_batch_occupancy: AtomicU64,
+}
+
+impl ServeStats {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests\": {}, \"embedded\": {}, \"cache_hits\": {}, ",
+                "\"errors\": {}, \"rejected\": {}, \"batches\": {}, ",
+                "\"batched_requests\": {}, \"max_batch_occupancy\": {}}}"
+            ),
+            self.requests.load(Ordering::Relaxed),
+            self.embedded.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.batches.load(Ordering::Relaxed),
+            self.batched_requests.load(Ordering::Relaxed),
+            self.max_batch_occupancy.load(Ordering::Relaxed),
+        )
+    }
+}
+
+type ReplyBytes = Result<Arc<Vec<u8>>, (ErrorCode, String)>;
+
+/// One queued miss: the prepared circuit plus the channel its embedding
+/// bytes go back on.
+struct Job {
+    hash: u64,
+    circuit: CircuitGraph,
+    resp: mpsc::Sender<ReplyBytes>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    embedder: NetlistEmbedder,
+    config: ServeConfig,
+    /// canonical hash → wire-ready `OP_EMBEDDING` payload.
+    cache: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+}
+
+/// A running server: owns the listener address and the accept +
+/// scheduler threads. Dropping it shuts the server down.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    sched: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `listen` (use port 0 for an ephemeral port) and starts
+    /// serving `embedder` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn start(
+        listen: &str,
+        embedder: NetlistEmbedder,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            embedder,
+            config: config.clone(),
+            cache: Mutex::new(HashMap::new()),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_cap);
+
+        let sched = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("moss-serve-sched".into())
+                .spawn(move || scheduler_loop(&shared, &rx))
+                .expect("spawn scheduler thread")
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("moss-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &tx))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            sched: Some(sched),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats_json(&self) -> String {
+        self.shared.stats.json()
+    }
+
+    /// Stops accepting, drains the scheduler, and joins both threads.
+    /// Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sched.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _sp = moss_obs::span("serve.accept");
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        let _ = std::thread::Builder::new()
+            .name("moss-serve-conn".into())
+            .spawn(move || connection_loop(stream, &shared, &tx));
+    }
+}
+
+/// Decodes one `OP_EMBED` payload into a parsed netlist plus its
+/// canonical (cache-key) hash. Feature preparation is deferred to
+/// [`handle_embed`] so a cache hit never pays for it.
+fn decode_request(payload: &[u8]) -> Result<(u64, Netlist), (ErrorCode, String)> {
+    let _sp = moss_obs::span("serve.decode");
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| (ErrorCode::BadFrame, "payload is not UTF-8".to_string()))?;
+    let netlist =
+        parse_verilog(text).map_err(|e| (ErrorCode::Parse, format!("parse error: {e}")))?;
+    let hash = canonical_hash(&netlist);
+    Ok((hash, netlist))
+}
+
+fn send_error(stream: &mut TcpStream, stats: &ServeStats, code: ErrorCode, msg: &str) {
+    stats.errors.fetch_add(1, Ordering::Relaxed);
+    let _ = write_frame(stream, OP_ERROR, &error_payload(code, msg));
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            // Clean close, timeout, or mid-frame disconnect: drop the
+            // connection. Nothing to reply to.
+            Ok(None) | Err(FrameReadError::Io(_)) => return,
+            Err(FrameReadError::Oversized(n)) => {
+                // The stream is desynchronized; report and drop.
+                send_error(
+                    &mut writer,
+                    &shared.stats,
+                    ErrorCode::BadFrame,
+                    &format!(
+                        "length prefix {n} exceeds {} byte cap",
+                        crate::protocol::MAX_FRAME
+                    ),
+                );
+                let _ = writer.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        match frame.op {
+            OP_STATS => {
+                let _ = write_frame(&mut writer, OP_STATS_REPLY, shared.stats.json().as_bytes());
+            }
+            OP_EMBED => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                handle_embed(&mut writer, shared, tx, &frame.payload);
+            }
+            other => {
+                send_error(
+                    &mut writer,
+                    &shared.stats,
+                    ErrorCode::BadFrame,
+                    &format!("unknown opcode 0x{other:02x}"),
+                );
+            }
+        }
+    }
+}
+
+fn handle_embed(
+    writer: &mut TcpStream,
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Job>,
+    payload: &[u8],
+) {
+    let (hash, netlist) = match decode_request(payload) {
+        Ok(v) => v,
+        Err((code, msg)) => {
+            send_error(writer, &shared.stats, code, &msg);
+            return;
+        }
+    };
+    // Cache hit: reply without preparing features or touching the
+    // scheduler at all.
+    let cached = shared.cache.lock().expect("cache lock").get(&hash).cloned();
+    if let Some(bytes) = cached {
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        moss_obs::counter("serve.cache.hit", 1);
+        let _sp = moss_obs::span("serve.respond");
+        let _ = write_frame(writer, OP_EMBEDDING, &bytes);
+        return;
+    }
+    moss_obs::counter("serve.cache.miss", 1);
+    let circuit = match shared.embedder.prepare(&netlist) {
+        Ok(c) => c,
+        Err(e) => {
+            send_error(
+                writer,
+                &shared.stats,
+                ErrorCode::Graph,
+                &format!("graph error: {e}"),
+            );
+            return;
+        }
+    };
+
+    let (resp_tx, resp_rx) = mpsc::channel::<ReplyBytes>();
+    let job = Job {
+        hash,
+        circuit,
+        resp: resp_tx,
+    };
+    let enqueued = Instant::now();
+    if let Err(e) = tx.try_send(job) {
+        let code = match e {
+            TrySendError::Full(_) => {
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                moss_obs::counter("serve.rejected", 1);
+                ErrorCode::Overload
+            }
+            TrySendError::Disconnected(_) => ErrorCode::Internal,
+        };
+        send_error(writer, &shared.stats, code, "scheduler queue unavailable");
+        return;
+    }
+    let reply = {
+        let _sp = moss_obs::span("serve.queue_wait");
+        resp_rx.recv()
+    };
+    moss_obs::counter(
+        "serve.queue_wait_ns",
+        enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+    );
+    match reply {
+        Ok(Ok(bytes)) => {
+            shared.stats.embedded.fetch_add(1, Ordering::Relaxed);
+            let _sp = moss_obs::span("serve.respond");
+            let _ = write_frame(writer, OP_EMBEDDING, &bytes);
+        }
+        Ok(Err((code, msg))) => send_error(writer, &shared.stats, code, &msg),
+        Err(_) => send_error(
+            writer,
+            &shared.stats,
+            ErrorCode::Internal,
+            "scheduler dropped the request",
+        ),
+    }
+}
+
+fn scheduler_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
+    loop {
+        // Poll for the batch opener so shutdown is observed even when
+        // the server is idle.
+        let first = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + shared.config.batch_window;
+        while batch.len() < shared.config.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        run_batch(shared, batch);
+    }
+}
+
+/// Runs one fused forward for a batch of jobs: fault-gates each job,
+/// dedups survivors by canonical hash, embeds the unique circuits
+/// together, caches, and fans the bytes back.
+fn run_batch(shared: &Shared, batch: Vec<Job>) {
+    let n = batch.len() as u64;
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .batched_requests
+        .fetch_add(n, Ordering::Relaxed);
+    shared
+        .stats
+        .max_batch_occupancy
+        .fetch_max(n, Ordering::Relaxed);
+    moss_obs::gauge_max("serve.batch.occupancy", n);
+
+    // Fault gate + dedup. A poisoned request errors alone; the rest of
+    // the batch proceeds (pinned by tests/serve_faults.rs).
+    let mut unique: Vec<(u64, CircuitGraph)> = Vec::new();
+    let mut members: HashMap<u64, Vec<mpsc::Sender<ReplyBytes>>> = HashMap::new();
+    for job in batch {
+        if moss_faults::fire(moss_faults::Site::Serve, job.hash) {
+            let _ = job.resp.send(Err((
+                ErrorCode::Fault,
+                "injected fault at site 'serve'".to_string(),
+            )));
+            continue;
+        }
+        if !members.contains_key(&job.hash) {
+            unique.push((job.hash, job.circuit));
+        }
+        members.entry(job.hash).or_default().push(job.resp);
+    }
+    if unique.is_empty() {
+        return;
+    }
+
+    let refs: Vec<&CircuitGraph> = unique.iter().map(|(_, c)| c).collect();
+    let embedded = {
+        let _sp = moss_obs::span_items("serve.forward", refs.len() as u64);
+        catch_unwind(AssertUnwindSafe(|| shared.embedder.embed_graphs(&refs)))
+    };
+    match embedded {
+        Ok(embeddings) => {
+            let mut cache = shared.cache.lock().expect("cache lock");
+            for ((hash, _), emb) in unique.iter().zip(embeddings) {
+                let bytes = Arc::new(crate::protocol::embedding_payload(&emb));
+                if cache.len() < shared.config.cache_cap {
+                    cache.insert(*hash, Arc::clone(&bytes));
+                }
+                for resp in members.remove(hash).unwrap_or_default() {
+                    let _ = resp.send(Ok(Arc::clone(&bytes)));
+                }
+            }
+        }
+        Err(_) => {
+            for resps in members.into_values() {
+                for resp in resps {
+                    let _ = resp.send(Err((
+                        ErrorCode::Internal,
+                        "batch forward panicked".to_string(),
+                    )));
+                }
+            }
+        }
+    }
+}

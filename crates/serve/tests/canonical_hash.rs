@@ -1,0 +1,64 @@
+//! Canonical-hash regression tests over generated netlists. The hash is
+//! the serving cache key, so its exact value is a wire-format contract:
+//! silently changing it would orphan every cached embedding and break
+//! cross-version cache sharing. The constant below pins it.
+
+use moss_netlist::{canonical_hash, parse_verilog, write_verilog};
+use moss_prng::rngs::StdRng;
+use moss_prng::seq::SliceRandom;
+use moss_prng::SeedableRng;
+
+/// `canonical_hash(parse_verilog(write_verilog(random_netlist(11, 60))))`
+/// as of the hash's introduction. Changing this value is a cache-format
+/// break and must be deliberate.
+const PINNED_HASH_SEED11_CELLS60: u64 = 0x29b9_551a_f48c_4674;
+
+/// Shuffles the cell-instance lines of a structural-Verilog module,
+/// leaving the header, wire declarations, and assigns in place.
+fn shuffle_cells(src: &str, rng: &mut StdRng) -> String {
+    let mut head = Vec::new();
+    let mut cells = Vec::new();
+    let mut tail = Vec::new();
+    for line in src.lines() {
+        let t = line.trim_start();
+        if t.starts_with("module") || t.starts_with("wire") {
+            head.push(line.to_string());
+        } else if t.starts_with("assign") || t == "endmodule" {
+            tail.push(line.to_string());
+        } else {
+            cells.push(line.to_string());
+        }
+    }
+    cells.shuffle(rng);
+    let mut out = head;
+    out.extend(cells);
+    out.extend(tail);
+    out.join("\n")
+}
+
+#[test]
+fn shuffled_declarations_hash_identically() {
+    let mut rng = StdRng::seed_from_u64(0xCA_0F5E);
+    for seed in 0..8u64 {
+        let netlist = moss_datagen::random_netlist(900 + seed, 50);
+        let src = write_verilog(&netlist);
+        let want = canonical_hash(&parse_verilog(&src).expect("parse"));
+        for _ in 0..4 {
+            let shuffled = shuffle_cells(&src, &mut rng);
+            let got = canonical_hash(&parse_verilog(&shuffled).expect("parse shuffled"));
+            assert_eq!(got, want, "shuffle changed the hash for seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn pinned_hash_has_not_drifted() {
+    let netlist = moss_datagen::random_netlist(11, 60);
+    let src = write_verilog(&netlist);
+    let hash = canonical_hash(&parse_verilog(&src).expect("parse"));
+    assert_eq!(
+        hash, PINNED_HASH_SEED11_CELLS60,
+        "canonical hash drifted: 0x{hash:016x} — this breaks every \
+         serving cache; bump the pinned constant only on purpose"
+    );
+}

@@ -1,0 +1,153 @@
+//! Protocol robustness fuzzing, mirroring the 10k-mutation Verilog
+//! parser fuzz in `moss-netlist`: whatever bytes arrive — truncated
+//! frames, oversized length prefixes, garbage payloads, mid-frame
+//! disconnects — the frame reader and the live server must fail with a
+//! typed error or a dropped connection, never a panic or a stall.
+
+use std::io::{Cursor, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use moss_prng::rngs::StdRng;
+use moss_prng::{Rng, SeedableRng};
+use moss_serve::protocol::{read_frame, write_frame, OP_EMBED};
+use moss_serve::{write_demo_checkpoint, Client, Reply, ServeConfig, Server};
+
+/// 10k random byte buffers through the frame reader: every outcome must
+/// be a clean decode, a clean EOF, or a typed error — never a panic and
+/// never an allocation driven by a hostile length prefix.
+#[test]
+fn frame_reader_survives_random_bytes() {
+    let mut rng = StdRng::seed_from_u64(0xF0_2233);
+    for case in 0..10_000u32 {
+        let mode = rng.gen_range(0..4u32);
+        let buf: Vec<u8> = match mode {
+            // Pure garbage.
+            0 => {
+                let len = rng.gen_range(0..64usize);
+                (0..len).map(|_| rng.next_u64() as u8).collect()
+            }
+            // A valid frame, truncated at a random point.
+            1 => {
+                let payload_len = rng.gen_range(0..48usize);
+                let payload: Vec<u8> = (0..payload_len).map(|_| rng.next_u64() as u8).collect();
+                let mut b = Vec::new();
+                write_frame(&mut b, rng.next_u64() as u8, &payload).unwrap();
+                let cut = rng.gen_range(0..=b.len());
+                b.truncate(cut);
+                b
+            }
+            // A hostile length prefix.
+            2 => {
+                let mut b = (rng.next_u64() as u32 | 0x4000_0000).to_le_bytes().to_vec();
+                b.push(rng.next_u64() as u8);
+                b
+            }
+            // A valid frame followed by trailing garbage.
+            _ => {
+                let payload: Vec<u8> = (0..rng.gen_range(0..32usize))
+                    .map(|_| rng.next_u64() as u8)
+                    .collect();
+                let mut b = Vec::new();
+                write_frame(&mut b, OP_EMBED, &payload).unwrap();
+                b.extend((0..rng.gen_range(0..8usize)).map(|_| rng.next_u64() as u8));
+                b
+            }
+        };
+        let mut cursor = Cursor::new(&buf);
+        // Drain the buffer; each read must terminate without panicking.
+        for _ in 0..4 {
+            match read_frame(&mut cursor) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+        // Touch `case` so a failure seed is easy to replay.
+        std::hint::black_box(case);
+    }
+}
+
+/// TCP-level attacks against a live server. Interleaved sanity requests
+/// prove the server is still alive and correct after every attack.
+#[test]
+fn live_server_survives_hostile_clients() {
+    let ckpt = std::env::temp_dir().join(format!("moss-serve-fuzz-{}.mossckp", std::process::id()));
+    write_demo_checkpoint(&ckpt).expect("write demo checkpoint");
+    let embedder =
+        moss::NetlistEmbedder::from_checkpoint_file(&ckpt).expect("load demo checkpoint");
+    let config = ServeConfig {
+        // Short read timeout so half-sent frames release their
+        // connection threads quickly.
+        read_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", embedder, config).expect("start server");
+    let addr = server.addr();
+
+    let good = moss_netlist::write_verilog(&moss_datagen::random_netlist(3, 25));
+    let mut sanity = Client::connect(addr).expect("connect sanity client");
+    let want = match sanity.embed(&good).expect("sanity embed") {
+        Reply::Embedding(e) => e,
+        other => panic!("sanity request failed: {other:?}"),
+    };
+
+    let mut rng = StdRng::seed_from_u64(0x5EED_F422);
+    for round in 0..300u32 {
+        let mode = rng.gen_range(0..5u32);
+        let stream = TcpStream::connect(addr).expect("connect attacker");
+        match mode {
+            // Truncated frame: header promises more than we send.
+            0 => {
+                let mut s = stream;
+                let _ = s.write_all(&64u32.to_le_bytes());
+                let _ = s.write_all(&[OP_EMBED, 1, 2, 3]);
+                drop(s);
+            }
+            // Oversized length prefix.
+            1 => {
+                let mut s = stream;
+                let _ = s.write_all(&u32::MAX.to_le_bytes());
+                let _ = s.write_all(&[OP_EMBED]);
+                drop(s);
+            }
+            // Garbage payload under a valid frame.
+            2 => {
+                let mut s = stream;
+                let garbage: Vec<u8> = (0..rng.gen_range(1..64usize))
+                    .map(|_| rng.next_u64() as u8)
+                    .collect();
+                let _ = write_frame(&mut s, OP_EMBED, &garbage);
+                drop(s);
+            }
+            // Mid-frame disconnect at a random byte offset.
+            3 => {
+                let mut b = Vec::new();
+                write_frame(&mut b, OP_EMBED, good.as_bytes()).unwrap();
+                let cut = rng.gen_range(1..b.len());
+                let mut s = stream;
+                let _ = s.write_all(&b[..cut]);
+                drop(s);
+            }
+            // Unknown opcode.
+            _ => {
+                let mut s = stream;
+                let _ = write_frame(&mut s, rng.next_u64() as u8 | 0x40, b"junk");
+                drop(s);
+            }
+        }
+        // Every 25 attacks, prove the server still answers correctly.
+        if round % 25 == 0 {
+            let mut client = Client::connect(addr).expect("connect checker");
+            match client.embed(&good).expect("checker embed") {
+                Reply::Embedding(e) => assert_eq!(e, want, "reply changed after attack {round}"),
+                other => panic!("server wedged after attack {round}: {other:?}"),
+            }
+        }
+    }
+
+    // The original connection must still work too.
+    match sanity.embed(&good).expect("final sanity embed") {
+        Reply::Embedding(e) => assert_eq!(e, want),
+        other => panic!("sanity connection wedged: {other:?}"),
+    }
+}

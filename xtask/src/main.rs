@@ -1,9 +1,10 @@
 //! Workspace tasks. `cargo xtask bench-check` is the perf-regression gate:
-//! it runs the kernels and sim bench suites with quick budgets
-//! (`MOSS_BENCH_QUICK=1`), redirects their reports under `target/` via
-//! `MOSS_BENCH_OUT`, and compares each benchmark's `mean_ns` against the
-//! committed `BENCH_kernels.json` / `BENCH_sim.json` baselines, failing if
-//! any benchmark slowed beyond the tolerance.
+//! it runs the kernels and sim bench suites plus the serve load generator
+//! with quick budgets (`MOSS_BENCH_QUICK=1`), redirects their reports
+//! under `target/` via `MOSS_BENCH_OUT`, and compares each benchmark's
+//! `mean_ns` against the committed `BENCH_kernels.json` / `BENCH_sim.json`
+//! / `BENCH_serve.json` baselines, failing if any benchmark slowed beyond
+//! the tolerance.
 //!
 //! Tolerance is a fraction of the baseline: `--tolerance 0.5` (or
 //! `MOSS_BENCH_TOLERANCE=0.5`; default 0.5) fails a benchmark that is
@@ -15,7 +16,9 @@
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
-const SUITES: &[&str] = &["kernels", "sim"];
+// `kernels` and `sim` run through `cargo bench`; `serve` runs the
+// loadgen binary from `moss-serve` (its report has the same shape).
+const SUITES: &[&str] = &["kernels", "sim", "serve"];
 // Quick-budget runs are noisy (the naive large matmul swings ±30% on a
 // busy host); the default tolerance is wide enough to absorb that while
 // still catching a regression back to the pre-pool / pre-SIMD kernels
@@ -87,8 +90,15 @@ fn bench_check(args: &[String]) -> ExitCode {
 
         let fresh_path = scratch.join(format!("BENCH_{suite}.json"));
         eprintln!("# bench-check: running quick `{suite}` suite…");
-        let status = Command::new(env!("CARGO"))
-            .args(["bench", "-p", "moss-bench", "--bench", suite])
+        let mut cmd = Command::new(env!("CARGO"));
+        if *suite == "serve" {
+            // The serving numbers come from the load generator, not a
+            // benchkit bench: real sockets, concurrent clients.
+            cmd.args(["run", "--release", "-p", "moss-serve", "--bin", "loadgen"]);
+        } else {
+            cmd.args(["bench", "-p", "moss-bench", "--bench", suite]);
+        }
+        let status = cmd
             .current_dir(&root)
             .env("MOSS_BENCH_QUICK", "1")
             .env("MOSS_BENCH_OUT", &fresh_path)
@@ -96,7 +106,7 @@ fn bench_check(args: &[String]) -> ExitCode {
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {
-                eprintln!("xtask bench-check: `cargo bench --bench {suite}` failed: {s}");
+                eprintln!("xtask bench-check: `{suite}` suite failed: {s}");
                 return ExitCode::FAILURE;
             }
             Err(e) => {

@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod labels;
 pub mod pipeline;
 pub mod run;
 

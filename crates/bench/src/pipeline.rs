@@ -27,6 +27,24 @@ use moss_tensor::ParamStore;
 
 use crate::run::{PipelineError, RunManifest};
 
+/// Opens the label store named by `MOSS_LABEL_STORE`, if any: with it set,
+/// the sample-building stages serve ground-truth labels content-addressed
+/// from disk and only simulate first-touch circuits. An unopenable store
+/// degrades to a cold run with a warning rather than failing the
+/// experiment.
+fn env_label_store() -> Option<moss_store::LabelStore> {
+    let path = std::env::var("MOSS_LABEL_STORE")
+        .ok()
+        .filter(|p| !p.is_empty())?;
+    match moss_store::LabelStore::open(&path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("moss: cannot open label store {path}: {e} (labeling cold)");
+            None
+        }
+    }
+}
+
 /// Experiment-scale configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentConfig {
@@ -166,10 +184,11 @@ pub fn build_samples_variant(
     manifest: &mut RunManifest,
 ) -> Result<Vec<CircuitSample>, PipelineError> {
     let _obs = moss_obs::span_items("build_samples", modules.len() as u64);
+    let store = env_label_store();
     let results = moss_tensor::par_map(modules, |i, m| {
         (
             m.name().to_owned(),
-            CircuitSample::build(
+            CircuitSample::build_with_store(
                 m,
                 &world.lib,
                 &SampleOptions {
@@ -178,6 +197,7 @@ pub fn build_samples_variant(
                     seed: world.config.seed ^ ((i as u64) << 8) ^ (synth_seed << 40),
                     clock_mhz: world.config.clock_mhz,
                 },
+                store.as_ref(),
             ),
         )
     });
@@ -197,10 +217,11 @@ pub fn build_samples(
     manifest: &mut RunManifest,
 ) -> Result<Vec<CircuitSample>, PipelineError> {
     let _obs = moss_obs::span_items("build_samples", modules.len() as u64);
+    let store = env_label_store();
     let results = moss_tensor::par_map(modules, |i, m| {
         (
             m.name().to_owned(),
-            CircuitSample::build(
+            CircuitSample::build_with_store(
                 m,
                 &world.lib,
                 &SampleOptions {
@@ -209,6 +230,7 @@ pub fn build_samples(
                     clock_mhz: world.config.clock_mhz,
                     ..SampleOptions::default()
                 },
+                store.as_ref(),
             ),
         )
     });

@@ -1,9 +1,10 @@
 //! The data pipeline: one RTL design → synthesized netlist + ground-truth
 //! labels + the texts both modalities consume (paper §V-A).
 
-use moss_netlist::{CellLibrary, Netlist, NodeKind};
+use moss_netlist::{canonical_hash, CellLibrary, Netlist, NodeId, NodeKind};
 use moss_rtl::{describe_registers, module_summary, Module, RegisterDescription};
 use moss_sim::{CompiledSim, ToggleAccum};
+use moss_store::{store_key, LabelRecord, LabelStore};
 use moss_synth::{synthesize, DffBinding, SynthError, SynthOptions};
 use moss_timing::TimingReport;
 
@@ -72,6 +73,268 @@ impl Default for SampleOptions {
     }
 }
 
+/// Runs the label pipeline (simulation + timing + power) on an already
+/// synthesized netlist. This is the expensive first-touch work the label
+/// store amortizes away.
+fn compute_labels(
+    netlist: &Netlist,
+    bindings: &[DffBinding],
+    lib: &CellLibrary,
+    options: &SampleOptions,
+) -> Result<Labels, SynthError> {
+    // Simulation ground truth: toggle rates + signal probabilities,
+    // on the compiled bit-parallel engine (bit-identical to the GateSim
+    // reference — see `labels_match_gatesim_reference` below and the
+    // moss-sim differential suite).
+    let sim_obs = moss_obs::span_items("sim_labels", options.sim_cycles);
+    moss_obs::counter("sim.lane_cycles", options.sim_cycles);
+    let mut sim = CompiledSim::new(netlist)?;
+    for b in bindings {
+        sim.set_state(b.dff, b.reset);
+    }
+    sim.settle();
+    let n = netlist.node_count();
+    let mut acc = ToggleAccum::new(&sim);
+    let mut rng_state = options.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let inputs = netlist.primary_inputs();
+    for _ in 0..options.sim_cycles {
+        for &pi in &inputs {
+            // xorshift64* keeps this crate free of a rand dependency in
+            // the hot loop and deterministic across platforms.
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            sim.set_input(pi, rng_state & 1 == 1);
+        }
+        // Toggle counting is fused into the clock step: no per-cycle
+        // pass over a values snapshot.
+        sim.step_count(&mut acc);
+    }
+    let cycles = options.sim_cycles.max(1) as f64;
+    let toggle: Vec<f32> = acc
+        .toggles()
+        .iter()
+        .map(|&t| (t as f64 / cycles) as f32)
+        .collect();
+    let probability: Vec<f32> = acc
+        .ones()
+        .iter()
+        .map(|&o| (o as f64 / cycles) as f32)
+        .collect();
+    drop(sim_obs);
+
+    // Timing ground truth.
+    let timing = TimingReport::analyze(netlist, lib)?;
+    let arrival_ns: Vec<(usize, f32)> = timing
+        .dff_arrivals()
+        .iter()
+        .map(|&(d, ps)| (d.index(), (ps / 1000.0) as f32))
+        .collect();
+
+    // Power ground truth.
+    let mut dynamic_nw = vec![0.0f32; n];
+    let mut leakage = 0.0f64;
+    for id in netlist.node_ids() {
+        if let NodeKind::Cell(kind) = netlist.kind(id) {
+            let t = lib.timing(kind);
+            dynamic_nw[id.index()] =
+                toggle[id.index()] * t.switch_energy_fj as f32 * options.clock_mhz as f32;
+            leakage += t.leakage_nw;
+        }
+    }
+    let total_power_nw = dynamic_nw.iter().map(|&d| d as f64).sum::<f64>() + leakage;
+
+    Ok(Labels {
+        toggle,
+        probability,
+        arrival_ns,
+        dynamic_nw,
+        total_power_nw,
+        leakage_nw: leakage,
+    })
+}
+
+/// Canonical rank table: `rank[id.index()]` is the position of node `id`'s
+/// name in the lexicographic sort of all node names. Node names are unique
+/// within a netlist, so this is a permutation — the same one
+/// `canonical_form` (and therefore `canonical_hash`) sorts by, which makes
+/// rank-indexed label records exactly as declaration-order-invariant as
+/// the store key.
+fn canonical_ranks(netlist: &Netlist) -> Vec<u32> {
+    let mut order: Vec<NodeId> = netlist.node_ids().collect();
+    order.sort_by(|&a, &b| netlist.node(a).name().cmp(netlist.node(b).name()));
+    let mut rank = vec![0u32; netlist.node_count()];
+    for (r, id) in order.into_iter().enumerate() {
+        rank[id.index()] = r as u32;
+    }
+    rank
+}
+
+/// Converts in-memory labels (node-id order) to a store record (canonical
+/// name-sorted order) for `netlist`.
+pub fn labels_to_record(netlist: &Netlist, labels: &Labels) -> LabelRecord {
+    let rank = canonical_ranks(netlist);
+    let n = netlist.node_count();
+    let mut toggle = vec![0.0f32; n];
+    let mut probability = vec![0.0f32; n];
+    let mut dynamic_nw = vec![0.0f32; n];
+    for (id, &r) in rank.iter().enumerate().take(n) {
+        let r = r as usize;
+        toggle[r] = labels.toggle[id];
+        probability[r] = labels.probability[id];
+        dynamic_nw[r] = labels.dynamic_nw[id];
+    }
+    let mut arrival_ns: Vec<(u32, f32)> = labels
+        .arrival_ns
+        .iter()
+        .map(|&(id, ns)| (rank[id], ns))
+        .collect();
+    arrival_ns.sort_unstable_by_key(|&(r, _)| r);
+    LabelRecord {
+        toggle,
+        probability,
+        dynamic_nw,
+        arrival_ns,
+        total_power_nw: labels.total_power_nw,
+        leakage_nw: labels.leakage_nw,
+    }
+}
+
+/// Converts a store record back to node-id-ordered labels for `netlist`.
+///
+/// Returns `None` when the record does not fit this netlist (wrong node or
+/// DFF count, an arrival rank out of range, or an arrival rank that is not
+/// a DFF here) — the caller treats that as a miss and recomputes. This
+/// guards against the astronomically unlikely key collision and against
+/// records from a store whose schema drifted without a version bump.
+pub fn labels_from_record(netlist: &Netlist, record: &LabelRecord) -> Option<Labels> {
+    let n = netlist.node_count();
+    if record.toggle.len() != n
+        || record.probability.len() != n
+        || record.dynamic_nw.len() != n
+        || record.arrival_ns.len() != netlist.dff_count()
+    {
+        return None;
+    }
+    let rank = canonical_ranks(netlist);
+    let mut id_of_rank = vec![0usize; n];
+    for (id, &r) in rank.iter().enumerate() {
+        id_of_rank[r as usize] = id;
+    }
+    let mut toggle = vec![0.0f32; n];
+    let mut probability = vec![0.0f32; n];
+    let mut dynamic_nw = vec![0.0f32; n];
+    for id in 0..n {
+        let r = rank[id] as usize;
+        toggle[id] = record.toggle[r];
+        probability[id] = record.probability[r];
+        dynamic_nw[id] = record.dynamic_nw[r];
+    }
+    let mut arrival_ns = Vec::with_capacity(record.arrival_ns.len());
+    for &(r, ns) in &record.arrival_ns {
+        let id = *id_of_rank.get(r as usize)?;
+        if !netlist.kind(NodeId::new(id)).is_dff() {
+            return None;
+        }
+        arrival_ns.push((id, ns));
+    }
+    // `Labels::arrival_ns` is ordered by DFF node id (the STA contract).
+    arrival_ns.sort_unstable_by_key(|&(id, _)| id);
+    Some(Labels {
+        toggle,
+        probability,
+        dynamic_nw,
+        arrival_ns,
+        total_power_nw: record.total_power_nw,
+        leakage_nw: record.leakage_nw,
+    })
+}
+
+/// A synthesized circuit plus ground-truth labels, with cache provenance.
+/// This is the streaming-pipeline unit: unlike [`CircuitSample`] it skips
+/// the text modality (RTL print, summaries, register prompts), so labeling
+/// 10k circuits holds only netlists + label vectors in memory.
+#[derive(Debug, Clone)]
+pub struct LabeledCircuit {
+    /// The synthesized standard-cell netlist.
+    pub netlist: Netlist,
+    /// Register-bit → DFF bindings.
+    pub bindings: Vec<DffBinding>,
+    /// Ground-truth labels (from the store on a hit, recomputed otherwise).
+    pub labels: Labels,
+    /// `true` when the labels were served from the store.
+    pub cache_hit: bool,
+    /// The store key, when built against a store.
+    pub key: Option<u64>,
+}
+
+impl LabeledCircuit {
+    /// Synthesizes `module` and obtains its labels, consulting `store`
+    /// first when one is given: a valid record under
+    /// `store_key(canonical_hash, sim settings)` skips simulation, STA and
+    /// power entirely; a miss (or a corrupt/ill-fitting record) recomputes
+    /// and publishes the record for the next run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthError`] if the module fails synthesis or the
+    /// netlist fails analysis. Store *write* failures are swallowed (the
+    /// run degrades to cold); store *read* corruption is handled inside
+    /// [`LabelStore::load`] by evicting the bad record.
+    pub fn build(
+        module: &Module,
+        lib: &CellLibrary,
+        options: &SampleOptions,
+        store: Option<&LabelStore>,
+    ) -> Result<LabeledCircuit, SynthError> {
+        let synth = synthesize(module, &options.synth)?;
+        let netlist = synth.netlist;
+        let bindings = synth.dffs;
+        // Rehearsed resource-exhaustion: a configured `oom-cap` rejects
+        // circuits whose synthesized size exceeds the cell budget, the way
+        // a memory-capped worker would.
+        if moss_faults::fire_oom(netlist.cell_count() as u64) {
+            return Err(SynthError::FaultInjected { site: "oom-cap" });
+        }
+
+        let key = store.map(|_| {
+            store_key(
+                canonical_hash(&netlist),
+                options.sim_cycles,
+                options.seed,
+                options.clock_mhz,
+            )
+        });
+        if let (Some(st), Some(k)) = (store, key) {
+            if let Some(labels) = st.load(k).and_then(|r| labels_from_record(&netlist, &r)) {
+                return Ok(LabeledCircuit {
+                    netlist,
+                    bindings,
+                    labels,
+                    cache_hit: true,
+                    key,
+                });
+            }
+        }
+
+        let labels = compute_labels(&netlist, &bindings, lib, options)?;
+        if let (Some(st), Some(k)) = (store, key) {
+            // Best effort: a failed publish only costs the next run a
+            // recompute, never this one its labels.
+            if st.store(k, &labels_to_record(&netlist, &labels)).is_err() {
+                moss_obs::counter("store.write_err", 1);
+            }
+        }
+        Ok(LabeledCircuit {
+            netlist,
+            bindings,
+            labels,
+            cache_hit: false,
+            key,
+        })
+    }
+}
+
 impl CircuitSample {
     /// Runs the full ground-truth pipeline on `module`.
     ///
@@ -85,95 +348,32 @@ impl CircuitSample {
         lib: &CellLibrary,
         options: &SampleOptions,
     ) -> Result<CircuitSample, SynthError> {
+        Self::build_with_store(module, lib, options, None)
+    }
+
+    /// Like [`CircuitSample::build`], but serves labels from (and publishes
+    /// first-touch labels to) `store` when one is given.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CircuitSample::build`].
+    pub fn build_with_store(
+        module: &Module,
+        lib: &CellLibrary,
+        options: &SampleOptions,
+        store: Option<&LabelStore>,
+    ) -> Result<CircuitSample, SynthError> {
         let _obs = moss_obs::span("build_sample");
-        let synth = synthesize(module, &options.synth)?;
-        let netlist = synth.netlist;
-        let bindings = synth.dffs;
-        // Rehearsed resource-exhaustion: a configured `oom-cap` rejects
-        // circuits whose synthesized size exceeds the cell budget, the way
-        // a memory-capped worker would.
-        if moss_faults::fire_oom(netlist.cell_count() as u64) {
-            return Err(SynthError::FaultInjected { site: "oom-cap" });
-        }
-
-        // Simulation ground truth: toggle rates + signal probabilities,
-        // on the compiled bit-parallel engine (bit-identical to the GateSim
-        // reference — see `labels_match_gatesim_reference` below and the
-        // moss-sim differential suite).
-        let sim_obs = moss_obs::span_items("sim_labels", options.sim_cycles);
-        moss_obs::counter("sim.lane_cycles", options.sim_cycles);
-        let mut sim = CompiledSim::new(&netlist)?;
-        for b in &bindings {
-            sim.set_state(b.dff, b.reset);
-        }
-        sim.settle();
-        let n = netlist.node_count();
-        let mut acc = ToggleAccum::new(&sim);
-        let mut rng_state = options.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
-        let inputs = netlist.primary_inputs();
-        for _ in 0..options.sim_cycles {
-            for &pi in &inputs {
-                // xorshift64* keeps this crate free of a rand dependency in
-                // the hot loop and deterministic across platforms.
-                rng_state ^= rng_state << 13;
-                rng_state ^= rng_state >> 7;
-                rng_state ^= rng_state << 17;
-                sim.set_input(pi, rng_state & 1 == 1);
-            }
-            // Toggle counting is fused into the clock step: no per-cycle
-            // pass over a values snapshot.
-            sim.step_count(&mut acc);
-        }
-        let cycles = options.sim_cycles.max(1) as f64;
-        let toggle: Vec<f32> = acc
-            .toggles()
-            .iter()
-            .map(|&t| (t as f64 / cycles) as f32)
-            .collect();
-        let probability: Vec<f32> = acc
-            .ones()
-            .iter()
-            .map(|&o| (o as f64 / cycles) as f32)
-            .collect();
-        drop(sim_obs);
-
-        // Timing ground truth.
-        let timing = TimingReport::analyze(&netlist, lib)?;
-        let arrival_ns: Vec<(usize, f32)> = timing
-            .dff_arrivals()
-            .iter()
-            .map(|&(d, ps)| (d.index(), (ps / 1000.0) as f32))
-            .collect();
-
-        // Power ground truth.
-        let mut dynamic_nw = vec![0.0f32; n];
-        let mut leakage = 0.0f64;
-        for id in netlist.node_ids() {
-            if let NodeKind::Cell(kind) = netlist.kind(id) {
-                let t = lib.timing(kind);
-                dynamic_nw[id.index()] =
-                    toggle[id.index()] * t.switch_energy_fj as f32 * options.clock_mhz as f32;
-                leakage += t.leakage_nw;
-            }
-        }
-        let total_power_nw = dynamic_nw.iter().map(|&d| d as f64).sum::<f64>() + leakage;
-
+        let lc = LabeledCircuit::build(module, lib, options, store)?;
         Ok(CircuitSample {
             name: module.name().to_owned(),
             rtl_text: moss_rtl::print_module(module),
             summary: module_summary(module),
             register_descs: describe_registers(module),
             module: module.clone(),
-            netlist,
-            bindings,
-            labels: Labels {
-                toggle,
-                probability,
-                arrival_ns,
-                dynamic_nw,
-                total_power_nw,
-                leakage_nw: leakage,
-            },
+            netlist: lc.netlist,
+            bindings: lc.bindings,
+            labels: lc.labels,
         })
     }
 
@@ -278,6 +478,193 @@ mod tests {
         let probability: Vec<f32> = ones.iter().map(|&o| (o as f64 / cycles) as f32).collect();
         assert_eq!(sample.labels.toggle, toggle);
         assert_eq!(sample.labels.probability, probability);
+    }
+
+    fn temp_store(tag: &str) -> LabelStore {
+        let dir =
+            std::env::temp_dir().join(format!("moss_core_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        LabelStore::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn warm_store_serves_bit_identical_labels() {
+        let m = counter_module();
+        let lib = CellLibrary::default();
+        let options = SampleOptions::default();
+        let store = temp_store("warm");
+
+        let cold = LabeledCircuit::build(&m, &lib, &options, Some(&store)).unwrap();
+        assert!(!cold.cache_hit);
+        let warm = LabeledCircuit::build(&m, &lib, &options, Some(&store)).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(cold.key, warm.key);
+
+        // Bitwise equality, f64 totals included.
+        assert_eq!(cold.labels.toggle, warm.labels.toggle);
+        assert_eq!(cold.labels.probability, warm.labels.probability);
+        assert_eq!(cold.labels.dynamic_nw, warm.labels.dynamic_nw);
+        assert_eq!(cold.labels.arrival_ns, warm.labels.arrival_ns);
+        assert_eq!(
+            cold.labels.total_power_nw.to_bits(),
+            warm.labels.total_power_nw.to_bits()
+        );
+        assert_eq!(
+            cold.labels.leakage_nw.to_bits(),
+            warm.labels.leakage_nw.to_bits()
+        );
+
+        // And identical to the store-free path.
+        let plain = CircuitSample::build(&m, &lib, &options).unwrap();
+        assert_eq!(plain.labels.toggle, warm.labels.toggle);
+        assert_eq!(plain.labels.arrival_ns, warm.labels.arrival_ns);
+
+        use std::sync::atomic::Ordering;
+        assert_eq!(store.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().misses.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().writes.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// Deterministic per-name label value, so the permutation tests know
+    /// the ground truth for every node regardless of its id.
+    fn name_value(name: &str) -> f32 {
+        let h = name
+            .bytes()
+            .fold(0u32, |h, b| h.wrapping_mul(31).wrapping_add(b.into()));
+        (h % 1000) as f32 / 1000.0
+    }
+
+    #[test]
+    fn record_order_survives_declaration_reorder() {
+        // A record written for one declaration order of a netlist must be
+        // readable — per-node values matched by *name* — by a permuted
+        // declaration of the same netlist, because the two share a store
+        // key (`canonical_hash` is declaration-order-invariant). Reorder
+        // the way the canon suite does: re-emit as Verilog, reverse the
+        // instance lines, parse back.
+        let m = counter_module();
+        let options = SampleOptions::default();
+        let synth = synthesize(&m, &options.synth).unwrap();
+        let src = moss_netlist::write_verilog(&synth.netlist);
+        let a = moss_netlist::parse_verilog(&src).unwrap();
+
+        let mut header = Vec::new();
+        let mut instances = Vec::new();
+        let mut tail = Vec::new();
+        for line in src.lines() {
+            let t = line.trim_start();
+            if t.starts_with("module") || t.starts_with("wire") {
+                header.push(line);
+            } else if t.starts_with("assign") || t.starts_with("endmodule") {
+                tail.push(line);
+            } else if !t.is_empty() {
+                instances.push(line);
+            }
+        }
+        instances.reverse();
+        let shuffled: Vec<&str> = header.into_iter().chain(instances).chain(tail).collect();
+        let b = moss_netlist::parse_verilog(&shuffled.join("\n")).unwrap();
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+        assert_ne!(
+            a.node_ids()
+                .map(|i| a.node(i).name().to_owned())
+                .collect::<Vec<_>>(),
+            b.node_ids()
+                .map(|i| b.node(i).name().to_owned())
+                .collect::<Vec<_>>(),
+            "sanity: the reorder must actually permute node ids"
+        );
+
+        // Labels on `a`, every value derived from the node's name.
+        let dffs_a: Vec<usize> = a
+            .node_ids()
+            .filter(|&i| a.kind(i).is_dff())
+            .map(|i| i.index())
+            .collect();
+        let labels_a = Labels {
+            toggle: a.node_ids().map(|i| name_value(a.node(i).name())).collect(),
+            probability: a
+                .node_ids()
+                .map(|i| name_value(a.node(i).name()) * 0.5)
+                .collect(),
+            dynamic_nw: a
+                .node_ids()
+                .map(|i| name_value(a.node(i).name()) * 7.0)
+                .collect(),
+            arrival_ns: dffs_a
+                .iter()
+                .map(|&id| (id, 1.0 + name_value(a.node(NodeId::new(id)).name())))
+                .collect(),
+            total_power_nw: 123.456,
+            leakage_nw: 7.89,
+        };
+
+        let record = labels_to_record(&a, &labels_a);
+        let labels_b = labels_from_record(&b, &record).unwrap();
+
+        // Every value must land on the same-named node in `b`.
+        for id_b in b.node_ids() {
+            let name = b.node(id_b).name();
+            assert_eq!(
+                labels_b.toggle[id_b.index()].to_bits(),
+                name_value(name).to_bits(),
+                "toggle mismatch at {name}"
+            );
+            assert_eq!(
+                labels_b.probability[id_b.index()].to_bits(),
+                (name_value(name) * 0.5).to_bits()
+            );
+            assert_eq!(
+                labels_b.dynamic_nw[id_b.index()].to_bits(),
+                (name_value(name) * 7.0).to_bits()
+            );
+        }
+        assert_eq!(labels_b.arrival_ns.len(), b.dff_count());
+        // `arrival_ns` must come back ordered by node id (the STA
+        // contract) with per-DFF values following the names.
+        assert!(labels_b.arrival_ns.windows(2).all(|w| w[0].0 < w[1].0));
+        for &(id, ns) in &labels_b.arrival_ns {
+            let name = b.node(NodeId::new(id)).name();
+            assert_eq!(ns.to_bits(), (1.0 + name_value(name)).to_bits());
+        }
+        assert_eq!(labels_b.total_power_nw, 123.456);
+        assert_eq!(labels_b.leakage_nw, 7.89);
+
+        // Round-tripping back through a's order is the identity.
+        let back = labels_from_record(&a, &labels_to_record(&b, &labels_b)).unwrap();
+        assert_eq!(back.toggle, labels_a.toggle);
+        assert_eq!(back.arrival_ns, labels_a.arrival_ns);
+    }
+
+    #[test]
+    fn ill_fitting_record_is_rejected_not_served() {
+        let m = counter_module();
+        let lib = CellLibrary::default();
+        let options = SampleOptions::default();
+        let sample = CircuitSample::build(&m, &lib, &options).unwrap();
+        let mut record = labels_to_record(&sample.netlist, &sample.labels);
+
+        // Wrong node count → None.
+        record.toggle.push(0.0);
+        assert!(labels_from_record(&sample.netlist, &record).is_none());
+        record.toggle.pop();
+        assert!(labels_from_record(&sample.netlist, &record).is_some());
+
+        // Arrival rank out of range → None, not a panic.
+        record.arrival_ns[0].0 = u32::MAX;
+        assert!(labels_from_record(&sample.netlist, &record).is_none());
+
+        // Arrival rank pointing at a non-DFF node → None.
+        let rank = canonical_ranks(&sample.netlist);
+        let non_dff_rank = sample
+            .netlist
+            .node_ids()
+            .find(|&id| !sample.netlist.kind(id).is_dff())
+            .map(|id| rank[id.index()])
+            .unwrap();
+        record.arrival_ns[0].0 = non_dff_rank;
+        assert!(labels_from_record(&sample.netlist, &record).is_none());
     }
 
     #[test]

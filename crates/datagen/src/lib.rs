@@ -12,6 +12,9 @@
 //!   sequential designs across size classes;
 //! - [`random_netlist`]: random gate-level netlists at an exact cell count
 //!   (simulator benchmarking and differential fuzzing);
+//! - [`CorpusPlan`]/[`CorpusShard`]: deterministic seed-range shards of a
+//!   random corpus, so 10k+ circuit runs generate (and label) one bounded
+//!   shard at a time;
 //! - [`finetune_pairs`]: contrastive text pairs (register prompt ↔ DFF
 //!   context, RTL source ↔ summary) for LLM fine-tuning.
 //!
@@ -31,6 +34,7 @@ mod corpus;
 pub mod expr;
 mod extras;
 mod random;
+mod shard;
 
 pub use benchmarks::{
     benchmark_suite, error_logger, max_selector, mult_16x32_to_48, pipeline_reg, prbs_generator,
@@ -38,4 +42,5 @@ pub use benchmarks::{
 };
 pub use corpus::finetune_pairs;
 pub use extras::{alu, fifo_ctrl, uart_tx};
-pub use random::{random_corpus, random_module, random_netlist, SizeClass};
+pub use random::{corpus_module, random_corpus, random_module, random_netlist, SizeClass};
+pub use shard::{CorpusPlan, CorpusShard};

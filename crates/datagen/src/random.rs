@@ -211,18 +211,21 @@ pub fn random_netlist(seed: u64, cells: usize) -> moss_netlist::Netlist {
     nl
 }
 
+/// Generates design `index` of the corpus rooted at `seed` — the unit the
+/// sharded corpus plan streams, so any sub-range of a corpus can be
+/// regenerated without materializing the rest.
+pub fn corpus_module(seed: u64, index: usize) -> Module {
+    let class = match index % 3 {
+        0 => SizeClass::Small,
+        1 => SizeClass::Medium,
+        _ => SizeClass::Small, // keep corpora CPU-friendly by default
+    };
+    random_module(seed.wrapping_add(index as u64), class)
+}
+
 /// Generates a corpus of `count` random designs across size classes.
 pub fn random_corpus(seed: u64, count: usize) -> Vec<Module> {
-    (0..count)
-        .map(|i| {
-            let class = match i % 3 {
-                0 => SizeClass::Small,
-                1 => SizeClass::Medium,
-                _ => SizeClass::Small, // keep corpora CPU-friendly by default
-            };
-            random_module(seed.wrapping_add(i as u64), class)
-        })
-        .collect()
+    (0..count).map(|i| corpus_module(seed, i)).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,132 @@
+//! Deterministic corpus sharding: split a `(seed, total)` corpus into
+//! fixed-size seed ranges that can be generated — and labeled — one shard
+//! at a time. Shard `k` covers corpus indices `[k·shard_size, …)`, and each
+//! design is `corpus_module(seed, index)`, so regenerating any shard never
+//! requires the rest of the corpus in memory. Concatenating every shard's
+//! modules reproduces [`random_corpus`](crate::random_corpus) exactly;
+//! `corpus_shards_cover_random_corpus` below pins that equivalence.
+
+use crate::random::corpus_module;
+use moss_rtl::Module;
+
+/// A sharded generation plan for `total` random designs rooted at `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusPlan {
+    /// Corpus root seed (design `i` is `corpus_module(seed, i)`).
+    pub seed: u64,
+    /// Total number of designs in the corpus.
+    pub total: usize,
+    /// Designs per shard (the final shard may be smaller).
+    pub shard_size: usize,
+}
+
+impl CorpusPlan {
+    /// Creates a plan; `shard_size` is clamped to at least 1.
+    pub fn new(seed: u64, total: usize, shard_size: usize) -> CorpusPlan {
+        CorpusPlan {
+            seed,
+            total,
+            shard_size: shard_size.max(1),
+        }
+    }
+
+    /// Number of shards (0 for an empty corpus).
+    pub fn shard_count(&self) -> usize {
+        self.total.div_ceil(self.shard_size)
+    }
+
+    /// The `index`-th shard (must be `< shard_count()`).
+    pub fn shard(&self, index: usize) -> CorpusShard {
+        let start = index * self.shard_size;
+        assert!(start < self.total, "shard {index} out of range");
+        CorpusShard {
+            index,
+            seed: self.seed,
+            start,
+            count: self.shard_size.min(self.total - start),
+        }
+    }
+
+    /// Iterates over every shard in order.
+    pub fn shards(&self) -> impl Iterator<Item = CorpusShard> + '_ {
+        (0..self.shard_count()).map(|i| self.shard(i))
+    }
+}
+
+/// One contiguous seed range of a [`CorpusPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusShard {
+    /// Position of this shard within the plan.
+    pub index: usize,
+    /// The plan's root seed.
+    pub seed: u64,
+    /// First corpus index covered.
+    pub start: usize,
+    /// Number of designs in this shard.
+    pub count: usize,
+}
+
+impl CorpusShard {
+    /// Generates this shard's modules (and nothing else) — the
+    /// bounded-memory unit the streaming labeler consumes.
+    pub fn modules(&self) -> Vec<Module> {
+        (self.start..self.start + self.count)
+            .map(|i| corpus_module(self.seed, i))
+            .collect()
+    }
+
+    /// Corpus indices covered by this shard.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_corpus;
+
+    fn print_all(modules: &[Module]) -> Vec<String> {
+        modules.iter().map(moss_rtl::print_module).collect()
+    }
+
+    #[test]
+    fn corpus_shards_cover_random_corpus() {
+        // Ragged final shard on purpose: 10 designs in shards of 4.
+        let plan = CorpusPlan::new(0xc0ffee, 10, 4);
+        assert_eq!(plan.shard_count(), 3);
+        let counts: Vec<usize> = plan.shards().map(|s| s.count).collect();
+        assert_eq!(counts, [4, 4, 2]);
+
+        let sharded: Vec<Module> = plan.shards().flat_map(|s| s.modules()).collect();
+        assert_eq!(
+            print_all(&sharded),
+            print_all(&random_corpus(0xc0ffee, 10)),
+            "sharded generation must reproduce the monolithic corpus"
+        );
+    }
+
+    #[test]
+    fn shards_are_independent_of_each_other() {
+        let plan = CorpusPlan::new(42, 9, 3);
+        // Generating shard 2 alone matches its slice of the full corpus.
+        let alone = plan.shard(2).modules();
+        let full = random_corpus(42, 9);
+        assert_eq!(print_all(&alone), print_all(&full[6..9]));
+        assert_eq!(plan.shard(2).indices(), 6..9);
+    }
+
+    #[test]
+    fn degenerate_plans_are_safe() {
+        assert_eq!(CorpusPlan::new(1, 0, 4).shard_count(), 0);
+        assert_eq!(CorpusPlan::new(1, 0, 4).shards().count(), 0);
+        // shard_size 0 is clamped, not a divide-by-zero.
+        let clamped = CorpusPlan::new(1, 3, 0);
+        assert_eq!(clamped.shard_size, 1);
+        assert_eq!(clamped.shard_count(), 3);
+        // One oversized shard covers everything.
+        let one = CorpusPlan::new(1, 3, 100);
+        assert_eq!(one.shard_count(), 1);
+        assert_eq!(one.shard(0).count, 3);
+    }
+}

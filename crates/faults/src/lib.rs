@@ -25,6 +25,7 @@
 //! | `io`      | checkpoint file save/load                             |
 //! | `nan`     | a training step's losses become NaN                   |
 //! | `serve`   | a serving request's batch-forward stage (moss-serve)  |
+//! | `store`   | a label-store record write is corrupted (moss-store)  |
 //! | `oom-cap` | circuits above `rate` cells are rejected (a cell cap) |
 //!
 //! `rate` is a probability in `[0, 1]` (for `oom-cap` it is a cell count).
@@ -68,17 +69,22 @@ pub enum Site {
     Nan,
     /// A serving request's decode/forward stage (moss-serve).
     Serve,
+    /// A label-store record write (moss-store) — the written record is
+    /// corrupted (truncated or bit-flipped), rehearsing bit rot and short
+    /// writes the filesystem survived.
+    Store,
 }
 
 impl Site {
     /// All probabilistic sites (the `oom-cap` threshold site is separate).
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 7] = [
         Site::Synth,
         Site::Sim,
         Site::Sta,
         Site::Io,
         Site::Nan,
         Site::Serve,
+        Site::Store,
     ];
 
     /// The site's spelling in `MOSS_FAULTS` and in error messages.
@@ -90,6 +96,7 @@ impl Site {
             Site::Io => "io",
             Site::Nan => "nan",
             Site::Serve => "serve",
+            Site::Store => "store",
         }
     }
 
@@ -101,6 +108,7 @@ impl Site {
             Site::Io => 3,
             Site::Nan => 4,
             Site::Serve => 5,
+            Site::Store => 6,
         }
     }
 
@@ -112,6 +120,7 @@ impl Site {
             Site::Io => "faults.injected.io",
             Site::Nan => "faults.injected.nan",
             Site::Serve => "faults.injected.serve",
+            Site::Store => "faults.injected.store",
         }
     }
 }
@@ -119,8 +128,8 @@ impl Site {
 /// A parsed `MOSS_FAULTS` specification.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultConfig {
-    rates: [f64; 6],
-    seeds: [u64; 6],
+    rates: [f64; 7],
+    seeds: [u64; 7],
     oom_cap: Option<u64>,
 }
 
@@ -133,7 +142,7 @@ impl FaultConfig {
     /// unparsable number, or a probability outside `[0, 1]`.
     pub fn parse(spec: &str) -> Result<FaultConfig, String> {
         let mut config = FaultConfig {
-            seeds: [DEFAULT_SEED; 6],
+            seeds: [DEFAULT_SEED; 7],
             ..FaultConfig::default()
         };
         for entry in spec.split(',') {
@@ -316,6 +325,16 @@ mod tests {
         assert_eq!(c.seeds[Site::Serve.index()], 5);
         override_for_tests(Some("serve:1.0"));
         assert!(fire(Site::Serve, key("any-circuit")));
+        override_for_tests(None);
+    }
+
+    #[test]
+    fn store_site_parses_and_fires() {
+        let c = FaultConfig::parse("store:1.0:9").unwrap();
+        assert_eq!(c.rates[Site::Store.index()], 1.0);
+        assert_eq!(c.seeds[Site::Store.index()], 9);
+        override_for_tests(Some("store:1.0"));
+        assert!(fire(Site::Store, 0x1234));
         override_for_tests(None);
     }
 

@@ -29,6 +29,7 @@ use moss::NetlistEmbedder;
 use moss_gnn::CircuitGraph;
 use moss_netlist::{canonical_hash, parse_verilog, Netlist};
 
+use crate::cache::LruCache;
 use crate::protocol::{
     error_payload, read_frame, write_frame, ErrorCode, FrameReadError, OP_EMBED, OP_EMBEDDING,
     OP_ERROR, OP_STATS, OP_STATS_REPLY,
@@ -42,8 +43,8 @@ pub struct ServeConfig {
     pub batch_window: Duration,
     /// Jobs per fused forward (`MOSS_SERVE_MAX_BATCH`, default 16).
     pub max_batch: usize,
-    /// Embedding-cache entries before inserts stop
-    /// (`MOSS_SERVE_CACHE_CAP`, default 4096).
+    /// Embedding-cache entries before LRU eviction kicks in
+    /// (`MOSS_SERVE_CACHE_CAP`, default 4096; 0 disables caching).
     pub cache_cap: usize,
     /// Bounded scheduler queue; a full queue rejects with `Overload`
     /// (`MOSS_SERVE_QUEUE_CAP`, default 256).
@@ -101,6 +102,8 @@ pub struct ServeStats {
     pub embedded: AtomicU64,
     /// Requests answered from the embedding cache.
     pub cache_hits: AtomicU64,
+    /// Cache entries evicted to make room (LRU).
+    pub evicted: AtomicU64,
     /// Requests answered with an error frame.
     pub errors: AtomicU64,
     /// Requests rejected because the queue was full.
@@ -118,12 +121,13 @@ impl ServeStats {
         format!(
             concat!(
                 "{{\"requests\": {}, \"embedded\": {}, \"cache_hits\": {}, ",
-                "\"errors\": {}, \"rejected\": {}, \"batches\": {}, ",
+                "\"evicted\": {}, \"errors\": {}, \"rejected\": {}, \"batches\": {}, ",
                 "\"batched_requests\": {}, \"max_batch_occupancy\": {}}}"
             ),
             self.requests.load(Ordering::Relaxed),
             self.embedded.load(Ordering::Relaxed),
             self.cache_hits.load(Ordering::Relaxed),
+            self.evicted.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.batches.load(Ordering::Relaxed),
@@ -147,8 +151,9 @@ struct Job {
 struct Shared {
     embedder: NetlistEmbedder,
     config: ServeConfig,
-    /// canonical hash → wire-ready `OP_EMBEDDING` payload.
-    cache: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    /// canonical hash → wire-ready `OP_EMBEDDING` payload, LRU-evicted at
+    /// `config.cache_cap`.
+    cache: Mutex<LruCache>,
     stats: ServeStats,
     shutdown: AtomicBool,
 }
@@ -180,7 +185,7 @@ impl Server {
         let shared = Arc::new(Shared {
             embedder,
             config: config.clone(),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(config.cache_cap)),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
         });
@@ -347,7 +352,7 @@ fn handle_embed(
     };
     // Cache hit: reply without preparing features or touching the
     // scheduler at all.
-    let cached = shared.cache.lock().expect("cache lock").get(&hash).cloned();
+    let cached = shared.cache.lock().expect("cache lock").get(hash);
     if let Some(bytes) = cached {
         shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
         moss_obs::counter("serve.cache.hit", 1);
@@ -488,14 +493,20 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     match embedded {
         Ok(embeddings) => {
             let mut cache = shared.cache.lock().expect("cache lock");
+            let before = cache.evictions();
             for ((hash, _), emb) in unique.iter().zip(embeddings) {
                 let bytes = Arc::new(crate::protocol::embedding_payload(&emb));
-                if cache.len() < shared.config.cache_cap {
-                    cache.insert(*hash, Arc::clone(&bytes));
-                }
+                cache.insert(*hash, Arc::clone(&bytes));
                 for resp in members.remove(hash).unwrap_or_default() {
                     let _ = resp.send(Ok(Arc::clone(&bytes)));
                 }
+            }
+            let evicted = cache.evictions() - before;
+            moss_obs::gauge_max("serve.cache.size", cache.len() as u64);
+            drop(cache);
+            if evicted > 0 {
+                shared.stats.evicted.fetch_add(evicted, Ordering::Relaxed);
+                moss_obs::counter("serve.cache.evict", evicted);
             }
         }
         Err(_) => {

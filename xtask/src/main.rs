@@ -17,8 +17,9 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 // `kernels` and `sim` run through `cargo bench`; `serve` runs the
-// loadgen binary from `moss-serve` (its report has the same shape).
-const SUITES: &[&str] = &["kernels", "sim", "serve"];
+// loadgen binary from `moss-serve` and `labels` the labelgen binary from
+// moss-bench (their reports have the same shape).
+const SUITES: &[&str] = &["kernels", "sim", "serve", "labels"];
 // Quick-budget runs are noisy (the naive large matmul swings ±30% on a
 // busy host); the default tolerance is wide enough to absorb that while
 // still catching a regression back to the pre-pool / pre-SIMD kernels
@@ -95,6 +96,20 @@ fn bench_check(args: &[String]) -> ExitCode {
             // The serving numbers come from the load generator, not a
             // benchkit bench: real sockets, concurrent clients.
             cmd.args(["run", "--release", "-p", "moss-serve", "--bin", "loadgen"]);
+        } else if *suite == "labels" {
+            // Cold-vs-warm labeling throughput through the sharded label
+            // store; labelgen self-checks digest equality and the warm
+            // speedup floor before writing its report.
+            cmd.args([
+                "run",
+                "--release",
+                "-p",
+                "moss-bench",
+                "--bin",
+                "labelgen",
+                "--",
+                "--bench",
+            ]);
         } else {
             cmd.args(["bench", "-p", "moss-bench", "--bench", suite]);
         }

@@ -73,6 +73,7 @@ pub use embedder::NetlistEmbedder;
 pub use features::{build_node_features, FeatureOptions, NodeFeatures, STRUCT_DIM};
 pub use model::{LocalLosses, MossConfig, MossModel, MossVariant, Predictions, Prepared};
 pub use sample::{
-    labels_from_record, labels_to_record, CircuitSample, LabeledCircuit, Labels, SampleOptions,
+    canonical_reset_hash, labels_from_record, labels_to_record, CircuitSample, LabeledCircuit,
+    Labels, SampleOptions,
 };
 pub use trainer::{AlignEpoch, DynamicWeights, PretrainEpoch, TrainConfig, Trainer};

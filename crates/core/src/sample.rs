@@ -170,6 +170,35 @@ fn canonical_ranks(netlist: &Netlist) -> Vec<u32> {
     rank
 }
 
+/// FNV-1a digest of the DFF reset (initial) values `compute_labels` seeds
+/// the simulation from, folded in canonical rank order. Reset values live
+/// on [`DffBinding`]s, not in the netlist, so `canonical_hash` alone
+/// cannot separate two canonically identical netlists whose registers
+/// initialize differently — their labels diverge from cycle 0. This hash
+/// is the extra [`store_key`] ingredient that keeps the "same key ⇒
+/// bit-identical labels" invariant true, and rank ordering keeps it as
+/// declaration-order-invariant as the netlist hash.
+pub fn canonical_reset_hash(netlist: &Netlist, bindings: &[DffBinding]) -> u64 {
+    let rank = canonical_ranks(netlist);
+    let mut resets: Vec<(u32, bool)> = bindings
+        .iter()
+        .map(|b| (rank[b.dff.index()], b.reset))
+        .collect();
+    resets.sort_unstable_by_key(|&(r, _)| r);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (r, reset) in resets {
+        for b in r.to_le_bytes() {
+            eat(b);
+        }
+        eat(u8::from(reset));
+    }
+    h
+}
+
 /// Converts in-memory labels (node-id order) to a store record (canonical
 /// name-sorted order) for `netlist`.
 pub fn labels_to_record(netlist: &Netlist, labels: &Labels) -> LabelRecord {
@@ -203,8 +232,9 @@ pub fn labels_to_record(netlist: &Netlist, labels: &Labels) -> LabelRecord {
 /// Converts a store record back to node-id-ordered labels for `netlist`.
 ///
 /// Returns `None` when the record does not fit this netlist (wrong node or
-/// DFF count, an arrival rank out of range, or an arrival rank that is not
-/// a DFF here) — the caller treats that as a miss and recomputes. This
+/// DFF count, an arrival rank out of range, duplicated, or out of order —
+/// [`LabelRecord::arrival_ns`] is sorted by rank — or an arrival rank that
+/// is not a DFF here) — the caller treats that as a miss and recomputes. This
 /// guards against the astronomically unlikely key collision and against
 /// records from a store whose schema drifted without a version bump.
 pub fn labels_from_record(netlist: &Netlist, record: &LabelRecord) -> Option<Labels> {
@@ -214,6 +244,12 @@ pub fn labels_from_record(netlist: &Netlist, record: &LabelRecord) -> Option<Lab
         || record.dynamic_nw.len() != n
         || record.arrival_ns.len() != netlist.dff_count()
     {
+        return None;
+    }
+    // Strictly increasing ranks is part of the record contract; anything
+    // else (a duplicated rank in particular) would alias one DFF's arrival
+    // onto another and drop a DFF from the sorted-unique-by-id STA list.
+    if !record.arrival_ns.windows(2).all(|w| w[0].0 < w[1].0) {
         return None;
     }
     let rank = canonical_ranks(netlist);
@@ -271,9 +307,9 @@ pub struct LabeledCircuit {
 impl LabeledCircuit {
     /// Synthesizes `module` and obtains its labels, consulting `store`
     /// first when one is given: a valid record under
-    /// `store_key(canonical_hash, sim settings)` skips simulation, STA and
-    /// power entirely; a miss (or a corrupt/ill-fitting record) recomputes
-    /// and publishes the record for the next run.
+    /// `store_key(canonical_hash, reset hash, sim settings)` skips
+    /// simulation, STA and power entirely; a miss (or a corrupt/ill-fitting
+    /// record) recomputes and publishes the record for the next run.
     ///
     /// # Errors
     ///
@@ -300,6 +336,7 @@ impl LabeledCircuit {
         let key = store.map(|_| {
             store_key(
                 canonical_hash(&netlist),
+                canonical_reset_hash(&netlist, &bindings),
                 options.sim_cycles,
                 options.seed,
                 options.clock_mhz,
@@ -526,6 +563,49 @@ mod tests {
         let _ = std::fs::remove_dir_all(store.root());
     }
 
+    #[test]
+    fn changed_register_init_misses_the_cache() {
+        // Register reset values live on DffBindings, not in the netlist,
+        // so `cnt` with `s = 0` and with `s = 5` synthesize to canonically
+        // identical netlists — yet their labels diverge from cycle 0. The
+        // reset hash folded into the store key must keep them apart: the
+        // second build must recompute, never be served the first's labels.
+        let m0 = counter_module();
+        let m5 = moss_rtl::parse(
+            "module cnt(input clk, input en, output [3:0] q);
+               reg [3:0] s = 5;
+               always @(posedge clk) s <= en ? (s + 4'd1) : s;
+               assign q = s;
+             endmodule",
+        )
+        .unwrap();
+        let lib = CellLibrary::default();
+        let options = SampleOptions::default();
+        let store = temp_store("reset");
+
+        let a = LabeledCircuit::build(&m0, &lib, &options, Some(&store)).unwrap();
+        let b = LabeledCircuit::build(&m5, &lib, &options, Some(&store)).unwrap();
+
+        // The premise of the hazard: the netlists really are canonically
+        // identical, so without the reset hash the keys would collide.
+        assert_eq!(canonical_hash(&a.netlist), canonical_hash(&b.netlist));
+        assert_ne!(
+            canonical_reset_hash(&a.netlist, &a.bindings),
+            canonical_reset_hash(&b.netlist, &b.bindings)
+        );
+        assert_ne!(a.key, b.key, "distinct resets must get distinct keys");
+        assert!(!a.cache_hit);
+        assert!(!b.cache_hit, "served labels for a different reset state");
+
+        // Each key serves its own labels on the rerun.
+        let a2 = LabeledCircuit::build(&m0, &lib, &options, Some(&store)).unwrap();
+        let b2 = LabeledCircuit::build(&m5, &lib, &options, Some(&store)).unwrap();
+        assert!(a2.cache_hit && b2.cache_hit);
+        assert_eq!(a.labels.probability, a2.labels.probability);
+        assert_eq!(b.labels.probability, b2.labels.probability);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
     /// Deterministic per-name label value, so the permutation tests know
     /// the ground truth for every node regardless of its id.
     fn name_value(name: &str) -> f32 {
@@ -643,19 +723,38 @@ mod tests {
         let lib = CellLibrary::default();
         let options = SampleOptions::default();
         let sample = CircuitSample::build(&m, &lib, &options).unwrap();
-        let mut record = labels_to_record(&sample.netlist, &sample.labels);
+        let pristine = labels_to_record(&sample.netlist, &sample.labels);
+        assert!(labels_from_record(&sample.netlist, &pristine).is_some());
+        assert!(pristine.arrival_ns.len() >= 2, "test wants ≥ 2 DFFs");
 
         // Wrong node count → None.
+        let mut record = pristine.clone();
         record.toggle.push(0.0);
         assert!(labels_from_record(&sample.netlist, &record).is_none());
-        record.toggle.pop();
-        assert!(labels_from_record(&sample.netlist, &record).is_some());
 
-        // Arrival rank out of range → None, not a panic.
-        record.arrival_ns[0].0 = u32::MAX;
+        // Arrival rank out of range → None, not a panic. (Mutating the
+        // *last* entry keeps the rank sequence strictly increasing, so
+        // this exercises the bounds check, not the ordering check.)
+        let mut record = pristine.clone();
+        record.arrival_ns.last_mut().unwrap().0 = u32::MAX;
         assert!(labels_from_record(&sample.netlist, &record).is_none());
 
-        // Arrival rank pointing at a non-DFF node → None.
+        // A duplicated rank would alias one DFF's arrival onto another
+        // and drop a DFF from the STA list → None.
+        let mut record = pristine.clone();
+        record.arrival_ns[1] = record.arrival_ns[0];
+        assert!(labels_from_record(&sample.netlist, &record).is_none());
+
+        // Out-of-order (but unique) ranks violate the record contract
+        // that arrivals are sorted by rank → None.
+        let mut record = pristine.clone();
+        record.arrival_ns.swap(0, 1);
+        assert!(labels_from_record(&sample.netlist, &record).is_none());
+
+        // Arrival rank pointing at a non-DFF node → None. Re-sorting
+        // after the swap keeps ranks strictly increasing (they stay
+        // unique: no non-DFF rank equals a DFF rank), so the DFF-kind
+        // check is what rejects.
         let rank = canonical_ranks(&sample.netlist);
         let non_dff_rank = sample
             .netlist
@@ -663,7 +762,9 @@ mod tests {
             .find(|&id| !sample.netlist.kind(id).is_dff())
             .map(|id| rank[id.index()])
             .unwrap();
+        let mut record = pristine.clone();
         record.arrival_ns[0].0 = non_dff_rank;
+        record.arrival_ns.sort_unstable_by_key(|&(r, _)| r);
         assert!(labels_from_record(&sample.netlist, &record).is_none());
     }
 

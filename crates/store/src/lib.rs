@@ -17,9 +17,11 @@
 //! ```
 //!
 //! One record per file keeps writes independent: records are written to a
-//! sibling `.tmp` and atomically renamed into place, so a `SIGKILL` at any
-//! instant leaves either no record or a complete one — never a torn file
-//! that poisons later runs.
+//! per-writer-unique sibling scratch file and atomically renamed into
+//! place, so a `SIGKILL` at any instant leaves either no record or a
+//! complete one — never a torn file that poisons later runs — and
+//! concurrent publishes of the same key cannot interleave on one scratch
+//! path.
 //!
 //! ## Record format (`MOSSLBL1`)
 //!
@@ -43,8 +45,9 @@
 //! ## Invalidation
 //!
 //! [`store_key`] folds the circuit's canonical hash together with the
-//! label-schema version and every labeling setting (simulation cycles,
-//! stimulus seed, clock frequency). Changing any of them changes the key,
+//! label-schema version, a hash of the DFF reset (initial) values the
+//! simulation is seeded from, and every labeling setting (simulation
+//! cycles, stimulus seed, clock frequency). Changing any of them changes the key,
 //! so stale records are simply never looked up again; they can be garbage
 //! collected by deleting the store directory.
 //!
@@ -111,7 +114,20 @@ fn crc32(bytes: &[u8]) -> u32 {
 /// hash folded (FNV-1a) with the schema version and every setting the
 /// labels depend on. Two jobs share a key exactly when their labels are
 /// guaranteed bit-identical.
-pub fn store_key(circuit_hash: u64, sim_cycles: u64, stimulus_seed: u64, clock_mhz: f64) -> u64 {
+///
+/// `reset_hash` covers the DFF reset (initial) values the simulation is
+/// seeded from — they are *not* part of the netlist, so canonically
+/// identical netlists with different register init values must still get
+/// distinct keys (`moss_core::canonical_reset_hash` derives it in
+/// canonical rank order so it is as declaration-order-invariant as
+/// `circuit_hash`).
+pub fn store_key(
+    circuit_hash: u64,
+    reset_hash: u64,
+    sim_cycles: u64,
+    stimulus_seed: u64,
+    clock_mhz: f64,
+) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |word: u64| {
         for b in word.to_le_bytes() {
@@ -121,6 +137,7 @@ pub fn store_key(circuit_hash: u64, sim_cycles: u64, stimulus_seed: u64, clock_m
     };
     eat(u64::from(SCHEMA_VERSION));
     eat(circuit_hash);
+    eat(reset_hash);
     eat(sim_cycles);
     eat(stimulus_seed);
     eat(clock_mhz.to_bits());
@@ -387,8 +404,12 @@ impl LabelStore {
     }
 
     /// Publishes `record` under `key` crash-safely: bytes go to a sibling
-    /// `.tmp`, then an atomic rename — a kill at any instant leaves either
-    /// the old state or a complete record.
+    /// temporary file, then an atomic rename — a kill at any instant leaves
+    /// either the old state or a complete record. The temporary name is
+    /// unique per writer (pid + counter), so concurrent publishes of the
+    /// same key never interleave on one scratch file; each rename lands a
+    /// complete record. A kill can strand a scratch file, but unique names
+    /// mean it is never written again — inert garbage, not a hazard.
     ///
     /// The `store` fault site (`MOSS_FAULTS=store:<rate>`) corrupts the
     /// bytes on their way out (truncation or a bit flip, by key parity),
@@ -415,7 +436,12 @@ impl LabelStore {
         if let Some(shard) = path.parent() {
             fs::create_dir_all(shard)?;
         }
-        let tmp = path.with_extension("tmp");
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let result = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, &path));
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
@@ -535,12 +561,13 @@ mod tests {
 
     #[test]
     fn store_key_separates_every_setting() {
-        let base = store_key(1, 2048, 7, 500.0);
-        assert_eq!(base, store_key(1, 2048, 7, 500.0));
-        assert_ne!(base, store_key(2, 2048, 7, 500.0), "circuit hash");
-        assert_ne!(base, store_key(1, 4096, 7, 500.0), "sim cycles");
-        assert_ne!(base, store_key(1, 2048, 8, 500.0), "stimulus seed");
-        assert_ne!(base, store_key(1, 2048, 7, 250.0), "clock");
+        let base = store_key(1, 3, 2048, 7, 500.0);
+        assert_eq!(base, store_key(1, 3, 2048, 7, 500.0));
+        assert_ne!(base, store_key(2, 3, 2048, 7, 500.0), "circuit hash");
+        assert_ne!(base, store_key(1, 4, 2048, 7, 500.0), "reset hash");
+        assert_ne!(base, store_key(1, 3, 4096, 7, 500.0), "sim cycles");
+        assert_ne!(base, store_key(1, 3, 2048, 8, 500.0), "stimulus seed");
+        assert_ne!(base, store_key(1, 3, 2048, 7, 250.0), "clock");
     }
 
     #[test]
@@ -549,11 +576,39 @@ mod tests {
         let rec = sample_record();
         assert!(store.load(9).is_none(), "empty store must miss");
         store.store(9, &rec).unwrap();
-        assert!(!store.path_of(9).with_extension("tmp").exists());
+        let shard = store.path_of(9).parent().unwrap().to_path_buf();
+        assert_eq!(
+            fs::read_dir(&shard).unwrap().count(),
+            1,
+            "scratch file left behind next to the record"
+        );
         assert_eq!(store.load(9), Some(rec));
         assert_eq!(store.stats().hits.load(Ordering::Relaxed), 1);
         assert_eq!(store.stats().misses.load(Ordering::Relaxed), 1);
         assert_eq!(store.record_count(), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn concurrent_same_key_publishes_are_clean() {
+        // Eight writers hammering one key must each land a complete
+        // record: unique scratch names mean no interleaved writes, no
+        // failed renames, and nothing left behind but the record itself.
+        let store = temp_store("concurrent");
+        let rec = sample_record();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        store.store(42, &rec).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.load(42), Some(rec));
+        assert_eq!(store.stats().corrupt.load(Ordering::Relaxed), 0);
+        let shard = store.path_of(42).parent().unwrap().to_path_buf();
+        assert_eq!(fs::read_dir(&shard).unwrap().count(), 1);
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -317,9 +317,11 @@ mod tests {
         m.record_skip(
             "b02",
             "prepare",
-            StageError::Netlist(NetlistError::VerilogParse {
-                message: "x".into(),
-            }),
+            StageError::Netlist(NetlistError::Verilog(moss_netlist::ParseError::new(
+                1,
+                1,
+                moss_netlist::ParseErrorKind::UnknownCell { cell: "x".into() },
+            ))),
         );
         let json = m.to_json();
         assert!(json.contains("\"label\": \"tab\\\"le1\""));

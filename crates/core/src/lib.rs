@@ -59,6 +59,7 @@ mod checkpoint;
 mod deepseq2;
 mod embedder;
 mod features;
+mod ingest;
 pub mod metrics;
 mod model;
 mod sample;
@@ -71,6 +72,7 @@ pub use checkpoint::{
 pub use deepseq2::{DeepSeq2, DeepSeq2Config, DeepSeq2Losses};
 pub use embedder::NetlistEmbedder;
 pub use features::{build_node_features, FeatureOptions, NodeFeatures, STRUCT_DIM};
+pub use ingest::bindings_from_design;
 pub use model::{LocalLosses, MossConfig, MossModel, MossVariant, Predictions, Prepared};
 pub use sample::{
     canonical_reset_hash, labels_from_record, labels_to_record, CircuitSample, LabeledCircuit,

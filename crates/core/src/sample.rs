@@ -286,6 +286,45 @@ pub fn labels_from_record(netlist: &Netlist, record: &LabelRecord) -> Option<Lab
     })
 }
 
+/// The store-aware labeling core shared by the synthesis pipeline
+/// ([`LabeledCircuit::build`]) and text ingestion
+/// ([`LabeledCircuit::from_verilog`]): compute the store key, serve a
+/// valid cached record, otherwise run simulation + STA + power and
+/// publish the result.
+///
+/// Returns `(labels, cache_hit, key)`.
+pub(crate) fn label_netlist(
+    netlist: &Netlist,
+    bindings: &[DffBinding],
+    lib: &CellLibrary,
+    options: &SampleOptions,
+    store: Option<&LabelStore>,
+) -> Result<(Labels, bool, Option<u64>), SynthError> {
+    let key = store.map(|_| {
+        store_key(
+            canonical_hash(netlist),
+            canonical_reset_hash(netlist, bindings),
+            options.sim_cycles,
+            options.seed,
+            options.clock_mhz,
+        )
+    });
+    if let (Some(st), Some(k)) = (store, key) {
+        if let Some(labels) = st.load(k).and_then(|r| labels_from_record(netlist, &r)) {
+            return Ok((labels, true, key));
+        }
+    }
+    let labels = compute_labels(netlist, bindings, lib, options)?;
+    if let (Some(st), Some(k)) = (store, key) {
+        // Best effort: a failed publish only costs the next run a
+        // recompute, never this one its labels.
+        if st.store(k, &labels_to_record(netlist, &labels)).is_err() {
+            moss_obs::counter("store.write_err", 1);
+        }
+    }
+    Ok((labels, false, key))
+}
+
 /// A synthesized circuit plus ground-truth labels, with cache provenance.
 /// This is the streaming-pipeline unit: unlike [`CircuitSample`] it skips
 /// the text modality (RTL print, summaries, register prompts), so labeling
@@ -333,40 +372,12 @@ impl LabeledCircuit {
             return Err(SynthError::FaultInjected { site: "oom-cap" });
         }
 
-        let key = store.map(|_| {
-            store_key(
-                canonical_hash(&netlist),
-                canonical_reset_hash(&netlist, &bindings),
-                options.sim_cycles,
-                options.seed,
-                options.clock_mhz,
-            )
-        });
-        if let (Some(st), Some(k)) = (store, key) {
-            if let Some(labels) = st.load(k).and_then(|r| labels_from_record(&netlist, &r)) {
-                return Ok(LabeledCircuit {
-                    netlist,
-                    bindings,
-                    labels,
-                    cache_hit: true,
-                    key,
-                });
-            }
-        }
-
-        let labels = compute_labels(&netlist, &bindings, lib, options)?;
-        if let (Some(st), Some(k)) = (store, key) {
-            // Best effort: a failed publish only costs the next run a
-            // recompute, never this one its labels.
-            if st.store(k, &labels_to_record(&netlist, &labels)).is_err() {
-                moss_obs::counter("store.write_err", 1);
-            }
-        }
+        let (labels, cache_hit, key) = label_netlist(&netlist, &bindings, lib, options, store)?;
         Ok(LabeledCircuit {
             netlist,
             bindings,
             labels,
-            cache_hit: false,
+            cache_hit,
             key,
         })
     }

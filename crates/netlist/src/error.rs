@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::cell::CellKind;
+use crate::verilog::ParseError;
 
 /// Errors produced while building or analyzing a netlist.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,11 +45,9 @@ pub enum NetlistError {
         /// A node on the cycle.
         node: usize,
     },
-    /// Structural Verilog failed to parse.
-    VerilogParse {
-        /// Explanation.
-        message: String,
-    },
+    /// Structural Verilog failed to parse. Carries the position and typed
+    /// kind of the failure.
+    Verilog(ParseError),
     /// A deterministic fault from `moss-faults` (`MOSS_FAULTS`) fired at
     /// this site — a rehearsed failure, not an organic one.
     FaultInjected {
@@ -92,8 +91,8 @@ impl fmt::Display for NetlistError {
                 f,
                 "combinational cycle through node {node} (missing a flip-flop on a feedback path)"
             ),
-            NetlistError::VerilogParse { message } => {
-                write!(f, "verilog parse error: {message}")
+            NetlistError::Verilog(e) => {
+                write!(f, "verilog parse error: {e}")
             }
             NetlistError::FaultInjected { site } => {
                 write!(f, "injected fault at site '{site}'")
@@ -103,6 +102,12 @@ impl fmt::Display for NetlistError {
 }
 
 impl Error for NetlistError {}
+
+impl From<ParseError> for NetlistError {
+    fn from(e: ParseError) -> NetlistError {
+        NetlistError::Verilog(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -191,6 +191,53 @@ impl Netlist {
         Ok(id)
     }
 
+    /// Adds a standard cell with no fanins connected yet.
+    ///
+    /// Parser-internal: the Verilog elaborator creates all instances first
+    /// (nets may be driven after their first use, and DFFs form cycles) and
+    /// then attaches pins in order via [`Netlist::connect_pin`]. The node is
+    /// invalid until all pins are connected; [`Netlist::validate`] reports
+    /// it as [`NetlistError::DanglingPins`] until then.
+    pub(crate) fn add_cell_unconnected(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+    ) -> NodeId {
+        self.push_node(NodeKind::Cell(kind), name.into())
+    }
+
+    /// Connects the next unconnected pin of `node` to `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] if either id is out of bounds,
+    /// or [`NetlistError::PinCountMismatch`] if every pin of `node` is
+    /// already connected.
+    pub(crate) fn connect_pin(&mut self, node: NodeId, src: NodeId) -> Result<(), NetlistError> {
+        if node.index() >= self.nodes.len() {
+            return Err(NetlistError::UnknownNode(node.index()));
+        }
+        if src.index() >= self.nodes.len() {
+            return Err(NetlistError::UnknownNode(src.index()));
+        }
+        let kind = self.nodes[node.index()].kind;
+        let expected = kind.input_count();
+        let got = self.fanins[node.index()].len();
+        if got >= expected {
+            return Err(NetlistError::PinCountMismatch {
+                cell: match kind {
+                    NodeKind::Cell(k) => k,
+                    _ => CellKind::Buf,
+                },
+                expected,
+                got: got + 1,
+            });
+        }
+        self.fanins[node.index()].push(src);
+        self.fanouts[src.index()].push(node);
+        Ok(())
+    }
+
     /// Total node count including ports.
     pub fn node_count(&self) -> usize {
         self.nodes.len()

@@ -57,4 +57,7 @@ pub use graph::{FaninArena, Netlist, Node, NodeId, NodeKind};
 pub use level::Levelization;
 pub use library::{CellLibrary, CellTiming};
 pub use stats::{to_dot, NetlistStats};
-pub use verilog::{parse_verilog, write_verilog};
+pub use verilog::{
+    parse_verilog, parse_verilog_design, write_verilog, DffReset, ParseError, ParseErrorKind,
+    ParsedDff, VerilogDesign,
+};

@@ -1,0 +1,190 @@
+//! Structured parse errors for the gate-level Verilog frontend.
+//!
+//! Every failure carries the 1-based line/column where it was detected and
+//! a typed [`ParseErrorKind`] — expected-vs-found for syntax, and dedicated
+//! kinds for the semantic checks (multiple drivers, duplicate pins,
+//! undriven nets) that a netlist linter needs to report precisely.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line of the offending token or character.
+    pub line: u32,
+    /// 1-based source column of the offending token or character.
+    pub column: u32,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Creates an error at a source position.
+    pub fn new(line: u32, column: u32, kind: ParseErrorKind) -> ParseError {
+        ParseError { line, column, kind }
+    }
+}
+
+/// The typed failure categories of the Verilog frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The character stream could not be tokenized (stray character,
+    /// unterminated block comment, unsupported literal, empty escaped
+    /// identifier).
+    Lex {
+        /// Human-readable description of the lexical problem.
+        message: String,
+    },
+    /// The token stream diverged from the grammar.
+    UnexpectedToken {
+        /// What the grammar required here.
+        expected: String,
+        /// The token actually found (`"end of input"` at EOF).
+        found: String,
+    },
+    /// An instance referenced a cell that is not in the library.
+    UnknownCell {
+        /// The unrecognized cell name.
+        cell: String,
+    },
+    /// A pin connection named a pin the cell does not have.
+    UnknownPin {
+        /// The library cell.
+        cell: String,
+        /// The unrecognized pin.
+        pin: String,
+    },
+    /// The same pin was connected more than once on one instance.
+    DuplicatePin {
+        /// The doubly-connected pin.
+        pin: String,
+    },
+    /// A required pin was left unconnected.
+    MissingPin {
+        /// The library cell.
+        cell: String,
+        /// The missing pin.
+        pin: String,
+    },
+    /// A net has more than one driver (two instance outputs, an instance
+    /// output shorting an input port, or a doubly-assigned output).
+    MultipleDrivers {
+        /// The multiply-driven net.
+        net: String,
+    },
+    /// A net is read but nothing drives it.
+    UndrivenNet {
+        /// The undriven net.
+        net: String,
+    },
+    /// A net is referenced but never declared.
+    UndeclaredNet {
+        /// The undeclared net.
+        net: String,
+    },
+    /// A name was declared twice (two nets, two instances, an instance
+    /// shadowing a port, ...).
+    Redeclared {
+        /// The reused name.
+        name: String,
+    },
+    /// A port never received a direction, or received two.
+    PortDirection {
+        /// The port.
+        port: String,
+    },
+    /// An output port ended up with no driver.
+    UnassignedOutput {
+        /// The undriven output port.
+        port: String,
+    },
+    /// A structurally valid but meaningless connection (a constant on an
+    /// output or control pin, an assign targeting a non-output, an assign
+    /// cycle, conflicting RN/SN reset pins).
+    InvalidConnection {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A recognized Verilog construct this gate-level frontend does not
+    /// model (bus ranges, a second module, primitives, ...).
+    Unsupported {
+        /// The unsupported construct.
+        construct: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::Lex { message } => write!(f, "{message}"),
+            ParseErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::UnknownCell { cell } => write!(f, "unknown cell '{cell}'"),
+            ParseErrorKind::UnknownPin { cell, pin } => {
+                write!(f, "cell {cell} has no pin '{pin}'")
+            }
+            ParseErrorKind::DuplicatePin { pin } => {
+                write!(f, "pin '{pin}' connected more than once")
+            }
+            ParseErrorKind::MissingPin { cell, pin } => {
+                write!(f, "cell {cell} is missing a connection for pin '{pin}'")
+            }
+            ParseErrorKind::MultipleDrivers { net } => {
+                write!(f, "net '{net}' has more than one driver")
+            }
+            ParseErrorKind::UndrivenNet { net } => write!(f, "net '{net}' is never driven"),
+            ParseErrorKind::UndeclaredNet { net } => write!(f, "net '{net}' is not declared"),
+            ParseErrorKind::Redeclared { name } => write!(f, "name '{name}' declared twice"),
+            ParseErrorKind::PortDirection { port } => {
+                write!(
+                    f,
+                    "port '{port}' needs exactly one input/output declaration"
+                )
+            }
+            ParseErrorKind::UnassignedOutput { port } => {
+                write!(f, "output '{port}' is never driven")
+            }
+            ParseErrorKind::InvalidConnection { message } => write!(f, "{message}"),
+            ParseErrorKind::Unsupported { construct } => {
+                write!(f, "unsupported construct: {construct}")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position_and_expectation() {
+        let e = ParseError::new(
+            3,
+            14,
+            ParseErrorKind::UnexpectedToken {
+                expected: "';'".into(),
+                found: "identifier 'foo'".into(),
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("column 14"), "{s}");
+        assert!(s.contains("expected ';'"), "{s}");
+        assert!(s.contains("identifier 'foo'"), "{s}");
+    }
+
+    #[test]
+    fn typed_kinds_are_matchable() {
+        let e = ParseError::new(1, 1, ParseErrorKind::MultipleDrivers { net: "n1".into() });
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::MultipleDrivers { ref net } if net == "n1"
+        ));
+    }
+}

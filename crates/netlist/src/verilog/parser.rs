@@ -1,0 +1,452 @@
+//! Recursive-descent parser: token stream → module AST.
+//!
+//! The grammar is the structural subset a Design-Compiler-class tool
+//! writes and ISCAS/ITC-style benchmark distributions use:
+//!
+//! ```text
+//! source   := 'module' ident '(' ports? ')' ';' item* 'endmodule'
+//! ports    := port (',' port)*
+//! port     := ('input' | 'output')? ident          // ANSI or plain style
+//! item     := ('input'|'output'|'wire') ident (',' ident)* ';'
+//!           | 'assign' ident '=' (ident | const) ';'
+//!           | ident ident '(' conn (',' conn)* ')' ';'
+//! conn     := '.' ident '(' (ident | const) ')'
+//! const    := 1'b0 | 1'b1
+//! ```
+//!
+//! `consume_*` combinators return `Option` and never fail; `expect_*`
+//! combinators produce a positioned expected-vs-found [`ParseError`].
+
+use super::error::{ParseError, ParseErrorKind};
+use super::token::{lex, Spanned, Token};
+
+/// An identifier with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Name {
+    /// The identifier text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+}
+
+/// The right-hand side of a pin connection or assign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetRef {
+    /// A named net.
+    Net(Name),
+    /// A constant bit (`1'b0` / `1'b1`).
+    Const {
+        /// The bit value.
+        value: bool,
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        column: u32,
+    },
+}
+
+/// Direction of a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `wire`
+    Wire,
+}
+
+/// One module-body item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `input a, b;` / `output y;` / `wire n1, n2;`
+    Decl {
+        /// The declared direction.
+        dir: Dir,
+        /// Declared names, in source order.
+        names: Vec<Name>,
+    },
+    /// `assign lhs = rhs;`
+    Assign {
+        /// The assigned net (an output port in this frontend).
+        lhs: Name,
+        /// The driving net or constant.
+        rhs: NetRef,
+    },
+    /// `CELL inst (.PIN(net), ...);`
+    Instance(Instance),
+}
+
+/// One cell instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The library cell name (e.g. `NAND2_X1`).
+    pub cell: Name,
+    /// The instance name.
+    pub name: Name,
+    /// Named pin connections, in source order.
+    pub pins: Vec<PinConn>,
+}
+
+/// One named pin connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinConn {
+    /// The pin name (e.g. `A`, `Y`, `CK`).
+    pub pin: Name,
+    /// The connected net or constant.
+    pub net: NetRef,
+}
+
+/// One port-list entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// The port name.
+    pub name: Name,
+    /// ANSI-style inline direction, if given in the port list.
+    pub dir: Option<Dir>,
+}
+
+/// The parsed module, before elaboration into a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ast {
+    /// The module name.
+    pub name: String,
+    /// Port list, in source order.
+    pub ports: Vec<Port>,
+    /// Body items, in source order.
+    pub items: Vec<Item>,
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    end_line: u32,
+    end_column: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Position for diagnostics at the current token (or EOF).
+    fn here(&self) -> (u32, u32) {
+        self.peek()
+            .map_or((self.end_line, self.end_column), |s| (s.line, s.column))
+    }
+
+    fn found(&self) -> String {
+        self.peek()
+            .map_or_else(|| "end of input".into(), |s| s.token.describe())
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        let (line, column) = self.here();
+        ParseError::new(
+            line,
+            column,
+            ParseErrorKind::UnexpectedToken {
+                expected: expected.into(),
+                found: self.found(),
+            },
+        )
+    }
+
+    /// Consumes the next token when it equals `token`.
+    fn consume(&mut self, token: &Token) -> bool {
+        if self.peek().is_some_and(|s| s.token == *token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes an identifier, if one is next.
+    fn consume_ident(&mut self) -> Option<Name> {
+        if let Some(Spanned {
+            token: Token::Ident(_),
+            ..
+        }) = self.peek()
+        {
+            let s = self.advance().expect("peeked");
+            let Token::Ident(text) = s.token else {
+                unreachable!()
+            };
+            Some(Name {
+                text,
+                line: s.line,
+                column: s.column,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Requires the next token to equal `token`.
+    fn expect(&mut self, token: &Token, expected: &str) -> Result<(), ParseError> {
+        if self.consume(token) {
+            Ok(())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    /// Requires an identifier next.
+    fn expect_ident(&mut self, expected: &str) -> Result<Name, ParseError> {
+        self.consume_ident()
+            .ok_or_else(|| self.unexpected(expected))
+    }
+
+    /// Requires an identifier or constant next.
+    fn expect_net_ref(&mut self, expected: &str) -> Result<NetRef, ParseError> {
+        if let Some(name) = self.consume_ident() {
+            return Ok(NetRef::Net(name));
+        }
+        if let Some(Spanned {
+            token: Token::Const(_),
+            ..
+        }) = self.peek()
+        {
+            let s = self.advance().expect("peeked");
+            let Token::Const(value) = s.token else {
+                unreachable!()
+            };
+            return Ok(NetRef::Const {
+                value,
+                line: s.line,
+                column: s.column,
+            });
+        }
+        Err(self.unexpected(expected))
+    }
+
+    fn parse_ports(&mut self) -> Result<Vec<Port>, ParseError> {
+        let mut ports = Vec::new();
+        if self.consume(&Token::RParen) {
+            return Ok(ports);
+        }
+        loop {
+            let dir = if self.consume(&Token::Input) {
+                Some(Dir::Input)
+            } else if self.consume(&Token::Output) {
+                Some(Dir::Output)
+            } else {
+                None
+            };
+            let name = self.expect_ident("a port name")?;
+            ports.push(Port { name, dir });
+            if self.consume(&Token::Comma) {
+                continue;
+            }
+            self.expect(&Token::RParen, "')' or ',' in the port list")?;
+            return Ok(ports);
+        }
+    }
+
+    fn parse_decl(&mut self, dir: Dir) -> Result<Item, ParseError> {
+        let mut names = vec![self.expect_ident("a declared name")?];
+        while self.consume(&Token::Comma) {
+            names.push(self.expect_ident("a declared name")?);
+        }
+        self.expect(&Token::Semi, "';' after the declaration")?;
+        Ok(Item::Decl { dir, names })
+    }
+
+    fn parse_assign(&mut self) -> Result<Item, ParseError> {
+        let lhs = self.expect_ident("the assigned net")?;
+        self.expect(&Token::Equals, "'=' in the assign")?;
+        let rhs = self.expect_net_ref("a driving net or 1'b0/1'b1")?;
+        self.expect(&Token::Semi, "';' after the assign")?;
+        Ok(Item::Assign { lhs, rhs })
+    }
+
+    fn parse_instance(&mut self) -> Result<Item, ParseError> {
+        let cell = self.expect_ident("a cell name")?;
+        let name = self.expect_ident("an instance name")?;
+        self.expect(&Token::LParen, "'(' opening the pin connections")?;
+        let mut pins = Vec::new();
+        if !self.consume(&Token::RParen) {
+            loop {
+                self.expect(&Token::Dot, "'.' starting a named pin connection")?;
+                let pin = self.expect_ident("a pin name")?;
+                self.expect(&Token::LParen, "'(' after the pin name")?;
+                let net = self.expect_net_ref("a net name or 1'b0/1'b1")?;
+                self.expect(&Token::RParen, "')' closing the pin connection")?;
+                pins.push(PinConn { pin, net });
+                if self.consume(&Token::Comma) {
+                    continue;
+                }
+                self.expect(&Token::RParen, "')' or ',' after a pin connection")?;
+                break;
+            }
+        }
+        self.expect(&Token::Semi, "';' after the instance")?;
+        Ok(Item::Instance(Instance { cell, name, pins }))
+    }
+
+    fn parse_module(&mut self) -> Result<Ast, ParseError> {
+        self.expect(&Token::Module, "keyword 'module'")?;
+        let name = self.expect_ident("the module name")?;
+        self.expect(&Token::LParen, "'(' opening the port list")?;
+        let ports = self.parse_ports()?;
+        self.expect(&Token::Semi, "';' after the port list")?;
+
+        let mut items = Vec::new();
+        loop {
+            if self.consume(&Token::Endmodule) {
+                break;
+            }
+            let item = if self.consume(&Token::Input) {
+                self.parse_decl(Dir::Input)?
+            } else if self.consume(&Token::Output) {
+                self.parse_decl(Dir::Output)?
+            } else if self.consume(&Token::Wire) {
+                self.parse_decl(Dir::Wire)?
+            } else if self.consume(&Token::Assign) {
+                self.parse_assign()?
+            } else if matches!(
+                self.peek(),
+                Some(Spanned {
+                    token: Token::Ident(_),
+                    ..
+                })
+            ) {
+                self.parse_instance()?
+            } else {
+                return Err(self.unexpected("a declaration, assign, instance, or 'endmodule'"));
+            };
+            items.push(item);
+        }
+
+        if let Some(next) = self.peek() {
+            let err = if next.token == Token::Module {
+                ParseError::new(
+                    next.line,
+                    next.column,
+                    ParseErrorKind::Unsupported {
+                        construct: "more than one module per source".into(),
+                    },
+                )
+            } else {
+                self.unexpected("end of input after 'endmodule'")
+            };
+            return Err(err);
+        }
+        Ok(Ast {
+            name: name.text,
+            ports,
+            items,
+        })
+    }
+}
+
+/// Parses `src` into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`ParseError`], positioned at
+/// the offending token.
+pub fn parse_source(src: &str) -> Result<Ast, ParseError> {
+    let tokens = lex(src)?;
+    // EOF diagnostics point one past the last token.
+    let (end_line, end_column) = tokens
+        .last()
+        .map_or((1, 1), |s| (s.line, s.column.saturating_add(1)));
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        end_line,
+        end_column,
+    };
+    parser.parse_module()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ansi_and_plain_ports() {
+        let ansi = parse_source("module m (input a, output y); endmodule").unwrap();
+        assert_eq!(ansi.ports.len(), 2);
+        assert_eq!(ansi.ports[0].dir, Some(Dir::Input));
+        let plain = parse_source("module m (a, y); input a; output y; endmodule").unwrap();
+        assert_eq!(plain.ports[0].dir, None);
+        assert_eq!(plain.items.len(), 2);
+    }
+
+    #[test]
+    fn parses_multi_name_declarations() {
+        let ast = parse_source("module m (); wire a, b, c; endmodule").unwrap();
+        let Item::Decl { dir, names } = &ast.items[0] else {
+            panic!("expected a decl");
+        };
+        assert_eq!(*dir, Dir::Wire);
+        let texts: Vec<&str> = names.iter().map(|n| n.text.as_str()).collect();
+        assert_eq!(texts, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn parses_instances_with_constants() {
+        let ast = parse_source(
+            "module m (input a, output y);
+               wire n;
+               NAND2_X1 u1 (.A(a), .B(1'b1), .Y(n));
+               assign y = n;
+             endmodule",
+        )
+        .unwrap();
+        let Item::Instance(inst) = &ast.items[1] else {
+            panic!("expected an instance");
+        };
+        assert_eq!(inst.cell.text, "NAND2_X1");
+        assert_eq!(inst.pins.len(), 3);
+        assert!(matches!(
+            inst.pins[1].net,
+            NetRef::Const { value: true, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_semicolon_reports_position_and_expectation() {
+        let err = parse_source("module m (input a)\n  wire w;\nendmodule").unwrap_err();
+        assert_eq!(err.line, 2);
+        let s = err.to_string();
+        assert!(s.contains("';'"), "{s}");
+        assert!(s.contains("keyword 'wire'"), "{s}");
+    }
+
+    #[test]
+    fn truncated_source_reports_end_of_input() {
+        let err = parse_source("module m (input a); INV_X1 u1 (.A(a), ").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::UnexpectedToken { ref found, .. } if found == "end of input"
+        ));
+    }
+
+    #[test]
+    fn second_module_is_unsupported() {
+        let err = parse_source("module a (); endmodule\nmodule b (); endmodule").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Unsupported { .. }));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn positional_pin_connections_are_rejected() {
+        let err = parse_source("module m (input a); INV_X1 u1 (a, y); endmodule").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken { .. }));
+        assert!(err.to_string().contains("'.'"), "{err}");
+    }
+}

@@ -1,0 +1,368 @@
+//! Tokenizer for gate-level structural Verilog.
+//!
+//! Produces a typed token stream with 1-based line/column spans. Handles
+//! the lexical surface real benchmark netlists actually use: `//` and
+//! `/* */` comments, simple and escaped (`\any[chars] `) identifiers, and
+//! the single-bit constants `1'b0` / `1'b1`.
+
+use super::error::{ParseError, ParseErrorKind};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A simple or escaped identifier (escaped identifiers are stored
+    /// without the leading backslash or terminating whitespace).
+    Ident(String),
+    /// A single-bit constant: `1'b0` (false) or `1'b1` (true).
+    Const(bool),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Equals,
+    /// `module`
+    Module,
+    /// `endmodule`
+    Endmodule,
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `wire`
+    Wire,
+    /// `assign`
+    Assign,
+}
+
+impl Token {
+    /// Human-readable description for expected-vs-found diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier '{s}'"),
+            Token::Const(b) => format!("constant 1'b{}", u8::from(*b)),
+            Token::LParen => "'('".into(),
+            Token::RParen => "')'".into(),
+            Token::Semi => "';'".into(),
+            Token::Comma => "','".into(),
+            Token::Dot => "'.'".into(),
+            Token::Equals => "'='".into(),
+            Token::Module => "keyword 'module'".into(),
+            Token::Endmodule => "keyword 'endmodule'".into(),
+            Token::Input => "keyword 'input'".into(),
+            Token::Output => "keyword 'output'".into(),
+            Token::Wire => "keyword 'wire'".into(),
+            Token::Assign => "keyword 'assign'".into(),
+        }
+    }
+}
+
+/// A token plus the 1-based position of its first character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+}
+
+/// Reserved words this frontend refuses as bare identifiers. Names that
+/// collide with these must be written as escaped identifiers.
+pub fn keyword(word: &str) -> Option<Token> {
+    match word {
+        "module" => Some(Token::Module),
+        "endmodule" => Some(Token::Endmodule),
+        "input" => Some(Token::Input),
+        "output" => Some(Token::Output),
+        "wire" => Some(Token::Wire),
+        "assign" => Some(Token::Assign),
+        _ => None,
+    }
+}
+
+/// Whether `name` can be emitted as a bare (unescaped) identifier.
+pub fn is_simple_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    let leading_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    leading_ok
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        && keyword(name).is_none()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, line: u32, column: u32, message: String) -> ParseError {
+        ParseError::new(line, column, ParseErrorKind::Lex { message })
+    }
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with [`ParseErrorKind::Lex`] on stray
+/// characters, unterminated block comments, non-single-bit literals, and
+/// empty escaped identifiers; bus-range brackets get a dedicated
+/// [`ParseErrorKind::Unsupported`] diagnostic.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        column: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = lx.peek() {
+        let (line, column) = (lx.line, lx.column);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.bump();
+            }
+            b'/' if lx.peek2() == Some(b'/') => {
+                while let Some(c) = lx.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    lx.bump();
+                }
+            }
+            b'/' if lx.peek2() == Some(b'*') => {
+                lx.bump();
+                lx.bump();
+                let mut closed = false;
+                while let Some(c) = lx.bump() {
+                    if c == b'*' && lx.peek() == Some(b'/') {
+                        lx.bump();
+                        closed = true;
+                        break;
+                    }
+                }
+                if !closed {
+                    return Err(lx.err(line, column, "unterminated block comment".into()));
+                }
+            }
+            b'(' | b')' | b';' | b',' | b'.' | b'=' => {
+                lx.bump();
+                let token = match b {
+                    b'(' => Token::LParen,
+                    b')' => Token::RParen,
+                    b';' => Token::Semi,
+                    b',' => Token::Comma,
+                    b'.' => Token::Dot,
+                    _ => Token::Equals,
+                };
+                out.push(Spanned {
+                    token,
+                    line,
+                    column,
+                });
+            }
+            b'[' | b']' => {
+                return Err(ParseError::new(
+                    line,
+                    column,
+                    ParseErrorKind::Unsupported {
+                        construct: "bus ranges / bit selects (flatten buses to scalar nets, \
+                                    or use escaped identifiers like `\\q[0] `)"
+                            .into(),
+                    },
+                ));
+            }
+            b'\\' => {
+                lx.bump();
+                let start = lx.pos;
+                while let Some(c) = lx.peek() {
+                    if c.is_ascii_whitespace() {
+                        break;
+                    }
+                    lx.bump();
+                }
+                if lx.pos == start {
+                    return Err(lx.err(line, column, "empty escaped identifier".into()));
+                }
+                // Escaped identifiers are raw bytes up to whitespace; the
+                // source is UTF-8, so the slice is too.
+                let name = String::from_utf8_lossy(&lx.src[start..lx.pos]).into_owned();
+                out.push(Spanned {
+                    token: Token::Ident(name),
+                    line,
+                    column,
+                });
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = lx.pos;
+                while let Some(c) = lx.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let word = std::str::from_utf8(&lx.src[start..lx.pos])
+                    .expect("ascii ident bytes are utf-8");
+                let token = keyword(word).unwrap_or_else(|| Token::Ident(word.to_owned()));
+                out.push(Spanned {
+                    token,
+                    line,
+                    column,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = lx.pos;
+                while let Some(c) = lx.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'\'' || c == b'_' {
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let lit = std::str::from_utf8(&lx.src[start..lx.pos])
+                    .expect("ascii literal bytes are utf-8");
+                let token = match lit {
+                    "1'b0" => Token::Const(false),
+                    "1'b1" => Token::Const(true),
+                    _ => {
+                        return Err(lx.err(
+                            line,
+                            column,
+                            format!("unsupported literal '{lit}' (only 1'b0 and 1'b1)"),
+                        ))
+                    }
+                };
+                out.push(Spanned {
+                    token,
+                    line,
+                    column,
+                });
+            }
+            _ => {
+                let ch = src[lx.pos..].chars().next().unwrap_or('?');
+                return Err(lx.err(line, column, format!("unexpected character '{ch}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_the_full_surface() {
+        let got = toks("module m (a); // line comment\n/* block\ncomment */ wire w; \\q[0]  1'b0 1'b1 endmodule");
+        assert_eq!(
+            got,
+            vec![
+                Token::Module,
+                Token::Ident("m".into()),
+                Token::LParen,
+                Token::Ident("a".into()),
+                Token::RParen,
+                Token::Semi,
+                Token::Wire,
+                Token::Ident("w".into()),
+                Token::Semi,
+                Token::Ident("q[0]".into()),
+                Token::Const(false),
+                Token::Const(true),
+                Token::Endmodule,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let spans = lex("module\n  foo").unwrap();
+        assert_eq!((spans[0].line, spans[0].column), (1, 1));
+        assert_eq!((spans[1].line, spans[1].column), (2, 3));
+    }
+
+    #[test]
+    fn comment_newlines_advance_the_line_counter() {
+        let spans = lex("/* a\nb\nc */ x").unwrap();
+        assert_eq!((spans[0].line, spans[0].column), (3, 6));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_a_lex_error_at_the_opener() {
+        let err = lex("wire w; /* oops").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 9));
+        assert!(matches!(err.kind, ParseErrorKind::Lex { .. }));
+        assert!(err.to_string().contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn wide_literals_are_rejected_with_position() {
+        let err = lex("module m; 4'b0101").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Lex { .. }));
+        assert!(err.to_string().contains("4'b0101"), "{err}");
+    }
+
+    #[test]
+    fn bus_brackets_get_a_dedicated_unsupported_error() {
+        let err = lex("input [3:0] a;").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Unsupported { .. }));
+    }
+
+    #[test]
+    fn escaped_identifier_preserves_special_characters() {
+        assert_eq!(
+            toks("\\a.b[3] x"),
+            vec![Token::Ident("a.b[3]".into()), Token::Ident("x".into()),]
+        );
+        assert!(lex("\\ x").is_err(), "empty escaped identifier");
+    }
+
+    #[test]
+    fn simple_ident_predicate_matches_the_lexer() {
+        assert!(is_simple_ident("n_u1"));
+        assert!(is_simple_ident("_x$2"));
+        assert!(!is_simple_ident("1abc"));
+        assert!(!is_simple_ident("a.b"));
+        assert!(!is_simple_ident("wire"));
+        assert!(!is_simple_ident(""));
+    }
+}

@@ -1,0 +1,66 @@
+/*
+ * b01_net.v — ITC'99-style b01-class benchmark netlist (FSM comparing
+ * two serial input flows), mapped onto the MOSS standard-cell library.
+ *
+ * Exercises the full frontend surface: non-ANSI ports with body
+ * input/output declarations, multi-name wire declarations, block and
+ * line comments, a constant pin connection, DFF instances with
+ * .CK/.RN control pins, an output port driven directly by a Q pin
+ * (outp), and an output port driven through an assign (overflw).
+ */
+module b01_net (line1, line2, reset, clock, outp, overflw);
+  input line1, line2;
+  input reset, clock;
+  output outp, overflw;
+
+  // Flip-flop outputs: state bits, output register, overflow latch.
+  wire q0, q1, q2, ovfq;
+  // Next-state functions.
+  wire n0, n1, n2;
+  // Datapath.
+  wire x1, x2, a1, a2, o1;
+  wire aoi1, oai1, carry, ovd, od, odb;
+  wire t1, t2, nb, nr;
+  wire w1, w2, w3, w4;
+
+  /* Input comparators. */
+  XOR2_X1  g_x1 (.A(line1), .B(line2), .Y(x1));
+  XNOR2_X1 g_x2 (.A(line1), .B(line2), .Y(x2));
+
+  // State-dependent datapath.
+  AND2_X1  g_a1 (.A(q0), .B(x1), .Y(a1));
+  AND2_X1  g_a2 (.A(q1), .B(x2), .Y(a2));
+  OR2_X1   g_o1 (.A(a1), .B(a2), .Y(o1));
+  XOR2_X1  g_n0 (.A(o1), .B(q2), .Y(n0));
+  MUX2_X1  g_n1 (.A(a1), .B(a2), .S(q0), .Y(n1));
+  AOI21_X1 g_aoi (.A(q0), .B(q1), .C(x1), .Y(aoi1));
+  OAI21_X1 g_oai (.A(q2), .B(x2), .C(o1), .Y(oai1));
+  NAND2_X1 g_n2 (.A(aoi1), .B(oai1), .Y(n2));
+  AND3_X1  g_carry (.A(q0), .B(q1), .C(q2), .Y(carry));
+
+  // Tied-high comparator leg (constant pin connection).
+  NAND2_X1 g_t1 (.A(x1), .B(1'b1), .Y(t1));
+  INV_X1   g_inv (.A(t1), .Y(t2));
+  NOR2_X1  g_nb (.A(t2), .B(n0), .Y(nb));
+  NOR3_X1  g_nr (.A(nb), .B(a1), .C(q2), .Y(nr));
+
+  // Sticky overflow.
+  OR2_X1   g_ovd (.A(carry), .B(ovfq), .Y(ovd));
+
+  // Output cone.
+  NAND3_X1 g_n3 (.A(x1), .B(x2), .C(o1), .Y(w1));
+  INV_X1   g_i2 (.A(w1), .Y(w2));
+  XOR2_X1  g_x3 (.A(w2), .B(carry), .Y(w3));
+  NOR2_X1  g_nz (.A(w3), .B(t2), .Y(w4));
+  OR3_X1   g_od (.A(nr), .B(w4), .C(n2), .Y(od));
+  BUF_X1   g_buf (.A(od), .Y(odb));
+
+  // State and output registers, active-low reset, all cleared to 0.
+  DFF_X1 s0_reg (.D(n0), .CK(clock), .RN(reset), .Q(q0));
+  DFF_X1 s1_reg (.D(n1), .CK(clock), .RN(reset), .Q(q1));
+  DFF_X1 s2_reg (.D(n2), .CK(clock), .RN(reset), .Q(q2));
+  DFF_X1 outp_reg (.D(odb), .CK(clock), .RN(reset), .Q(outp));
+  DFF_X1 ovf_reg (.D(ovd), .CK(clock), .RN(reset), .Q(ovfq));
+
+  assign overflw = ovfq;
+endmodule

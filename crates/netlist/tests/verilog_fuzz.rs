@@ -1,13 +1,15 @@
-//! No-panic fuzzing of the structural-Verilog parser: `parse_verilog` over
-//! thousands of seeded mutations of valid netlists must either parse or
-//! return a `NetlistError` — never panic and never slice out of bounds.
-//! (ISSUE 5 satellite: the old parser fell back to `stmt.len()` when an
-//! instance's closing paren was missing, silently mis-parsing, and sliced
-//! `conn.len() - 1` off pin connections, a panic on multibyte input.)
+//! No-panic fuzzing of the structural-Verilog frontend: `parse_verilog`
+//! over thousands of seeded mutations of valid netlists must either parse
+//! or return a *typed* `NetlistError::Verilog(ParseError)` — never panic,
+//! never slice out of bounds, never report an untyped failure. Sources are
+//! the committed ITC'99-style benchmark fixture plus writer-generated
+//! netlists, so both hand-written and machine-written shapes are covered.
 
-use moss_netlist::{parse_verilog, write_verilog, CellKind, Netlist};
+use moss_netlist::{parse_verilog, write_verilog, CellKind, Netlist, NetlistError};
 use moss_prng::rngs::StdRng;
 use moss_prng::{Rng, SeedableRng};
+
+const B01: &str = include_str!("fixtures/b01_net.v");
 
 fn sample_netlists() -> Vec<Netlist> {
     let mut combinational = Netlist::new("comb");
@@ -62,7 +64,7 @@ fn mutate(src: &str, rng: &mut StdRng) -> String {
         _ => {
             let i = rng.gen_range(0..=bytes.len());
             // Bias toward structurally interesting bytes.
-            let choices = b"();.,= \xc3\xa9";
+            let choices = b"();.,= \\'[\xc3\xa9";
             let c = choices[rng.gen_range(0..choices.len())];
             bytes.insert(i, c);
         }
@@ -71,8 +73,9 @@ fn mutate(src: &str, rng: &mut StdRng) -> String {
 }
 
 #[test]
-fn parser_never_panics_on_mutated_netlists() {
-    let sources: Vec<String> = sample_netlists().iter().map(write_verilog).collect();
+fn parser_never_panics_and_errors_stay_typed() {
+    let mut sources: Vec<String> = sample_netlists().iter().map(write_verilog).collect();
+    sources.push(B01.to_owned());
     let mut rng = StdRng::seed_from_u64(0xf722);
     let mut parsed_ok = 0usize;
     for round in 0..10_000usize {
@@ -81,12 +84,17 @@ fn parser_never_panics_on_mutated_netlists() {
         for _ in 0..rng.gen_range(1..=3u32) {
             src = mutate(&src, &mut rng);
         }
-        if parse_verilog(&src).is_ok() {
-            parsed_ok += 1;
+        match parse_verilog(&src) {
+            Ok(_) => parsed_ok += 1,
+            Err(NetlistError::Verilog(e)) => {
+                // Every rejection is positioned: 1-based line and column.
+                assert!(e.line >= 1 && e.column >= 1, "unpositioned error: {e}");
+            }
+            Err(other) => panic!("untyped parse failure: {other}"),
         }
     }
-    // Some mutations are benign (whitespace, unused-wire edits); most must
-    // be rejected. Either way, reaching here means no panic in 10k rounds.
+    // Some mutations are benign (whitespace, comment edits); most must be
+    // rejected. Either way, reaching here means no panic in 10k rounds.
     assert!(
         parsed_ok < 10_000,
         "every mutation parsing would mean the fuzz is inert"
@@ -94,21 +102,22 @@ fn parser_never_panics_on_mutated_netlists() {
 }
 
 #[test]
-fn unterminated_instance_is_an_error_not_a_misparse() {
-    // The exact regression: an instance whose closing `)` is missing used
-    // to be sliced to end-of-statement and mis-parsed.
+fn truncation_is_an_error_not_a_misparse() {
+    // The old parser's regression: an instance whose closing `)` is
+    // missing used to be sliced to end-of-statement and mis-parsed; now it
+    // is an expected-vs-found syntax error.
     let src = "module m (input a, output y);\n\
-               wire n_u1;\n\
-               INV_X1 u1 (.A(a), .Y(n_u1);\n\
-               assign y = n_u1;\n\
+               wire w;\n\
+               INV_X1 u1 (.A(a), .Y(w);\n\
+               assign y = w;\n\
                endmodule\n";
     let err = parse_verilog(src).unwrap_err();
-    assert!(
-        err.to_string().contains("unterminated"),
-        "expected an unterminated-instance error, got: {err}"
-    );
+    let NetlistError::Verilog(e) = err else {
+        panic!("expected a typed parse error");
+    };
+    assert_eq!(e.line, 3);
 
-    // A stray `)` ahead of the port list must not invert the header slice.
+    // A stray `)` ahead of the port list must not invert any slice.
     assert!(parse_verilog("module m )q( input a ); endmodule").is_err());
 
     // A pin connection missing its closing paren is rejected, multibyte
@@ -117,4 +126,10 @@ fn unterminated_instance_is_an_error_not_a_misparse() {
         "module m (input a, output y); INV_X1 u1 (.A(a), .Y(né); assign y = né; endmodule"
     )
     .is_err());
+
+    // Every prefix of the fixture is handled without panicking (the
+    // sharpest truncation sweep: all 0..len cut points, char-aligned).
+    for cut in (0..B01.len()).filter(|&i| B01.is_char_boundary(i)) {
+        let _ = parse_verilog(&B01[..cut]);
+    }
 }

@@ -274,8 +274,14 @@ fn decode_request(payload: &[u8]) -> Result<(u64, Netlist), (ErrorCode, String)>
     let _sp = moss_obs::span("serve.decode");
     let text = std::str::from_utf8(payload)
         .map_err(|_| (ErrorCode::BadFrame, "payload is not UTF-8".to_string()))?;
-    let netlist =
-        parse_verilog(text).map_err(|e| (ErrorCode::Parse, format!("parse error: {e}")))?;
+    let netlist = parse_verilog(text).map_err(|e| match e {
+        // The frontend's typed errors carry a source position; forward it
+        // so clients can point at the offending line of their netlist.
+        moss_netlist::NetlistError::Verilog(p) => (ErrorCode::Parse, format!("parse error: {p}")),
+        // Anything else parsed fine but failed graph analysis (e.g. a
+        // combinational cycle caught by validation).
+        other => (ErrorCode::Graph, format!("netlist error: {other}")),
+    })?;
     let hash = canonical_hash(&netlist);
     Ok((hash, netlist))
 }

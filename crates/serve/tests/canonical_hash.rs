@@ -8,10 +8,17 @@ use moss_prng::rngs::StdRng;
 use moss_prng::seq::SliceRandom;
 use moss_prng::SeedableRng;
 
-/// `canonical_hash(parse_verilog(write_verilog(random_netlist(11, 60))))`
-/// as of the hash's introduction. Changing this value is a cache-format
-/// break and must be deliberate.
-const PINNED_HASH_SEED11_CELLS60: u64 = 0x29b9_551a_f48c_4674;
+/// `canonical_hash(parse_verilog(write_verilog(random_netlist(11, 60))))`.
+/// Changing this value is a cache-format break and must be deliberate.
+///
+/// Deliberately bumped once (from `0x29b9_551a_f48c_4674`) when the
+/// Verilog frontend was replaced: the old parser leaked a
+/// `__vparse_placeholder__` primary input into every parsed netlist, so
+/// hashes of *parsed* circuits diverged from their programmatically-built
+/// twins. Post-fix, `parse_verilog(write_verilog(nl))` hashes equal to
+/// `nl` itself; cache entries keyed by the old placeholder-tainted hashes
+/// become unreachable cold misses (never wrong results). See DESIGN.md §14.
+const PINNED_HASH_SEED11_CELLS60: u64 = 0x780b_b06a_676f_29ca;
 
 /// Shuffles the cell-instance lines of a structural-Verilog module,
 /// leaving the header, wire declarations, and assigns in place.
@@ -48,6 +55,21 @@ fn shuffled_declarations_hash_identically() {
             let got = canonical_hash(&parse_verilog(&shuffled).expect("parse shuffled"));
             assert_eq!(got, want, "shuffle changed the hash for seed {seed}");
         }
+    }
+}
+
+#[test]
+fn parsed_and_programmatic_netlists_hash_identically() {
+    // The embed cache keys off this hash: a netlist arriving as text must
+    // land on the same cache entry as its programmatically-built twin.
+    for seed in 0..6u64 {
+        let nl = moss_datagen::random_netlist(seed, 40);
+        let parsed = parse_verilog(&write_verilog(&nl)).expect("round trip");
+        assert_eq!(
+            canonical_hash(&parsed),
+            canonical_hash(&nl),
+            "seed {seed}: text ingestion diverged from programmatic build"
+        );
     }
 }
 

@@ -130,9 +130,7 @@ fn cache_hits_return_identical_bytes() {
     assert_eq!(first, second, "cache hit changed the reply bytes");
 
     // A semantically identical netlist with its declarations reordered
-    // must hit the same cache entry (canonical hashing). Shuffle the
-    // original wire text — re-writing a parsed netlist would add a
-    // second parser placeholder input and change the circuit.
+    // must hit the same cache entry (canonical hashing).
     let reordered = {
         let src = text.clone();
         let mut head = Vec::new();
@@ -205,7 +203,26 @@ fn parse_and_graph_errors_come_back_typed() {
     let mut client = Client::connect(server.addr()).expect("connect");
 
     match client.embed("this is not verilog").expect("reply") {
-        Reply::Error { code, .. } => assert_eq!(code, 2, "expected Parse error"),
+        Reply::Error { code, message } => {
+            assert_eq!(code, 2, "expected Parse error");
+            assert!(
+                message.contains("line 1"),
+                "parse error must carry its source position: {message}"
+            );
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+    // A structurally broken netlist reports the offending line, so a
+    // client staring at a 10k-line benchmark knows where to look.
+    let broken = "module m (input a, output y);\n  wire w;\n  FOO_X1 u (.A(a), .Y(y));\nendmodule";
+    match client.embed(broken).expect("reply") {
+        Reply::Error { code, message } => {
+            assert_eq!(code, 2, "expected Parse error");
+            assert!(
+                message.contains("line 3") && message.contains("FOO_X1"),
+                "expected a positioned unknown-cell error, got: {message}"
+            );
+        }
         other => panic!("expected a parse error, got {other:?}"),
     }
     // The connection survives an error and still serves good requests.
@@ -213,5 +230,54 @@ fn parse_and_graph_errors_come_back_typed() {
     match client.embed(text).expect("reply") {
         Reply::Embedding(e) => assert!(!e.is_empty()),
         other => panic!("expected an embedding after an error, got {other:?}"),
+    }
+}
+
+/// The committed b01-class benchmark netlist, exactly as a user would
+/// bring it: comments, non-ANSI port declarations, DFF control pins.
+const B01_NET: &str = include_str!("../../netlist/tests/fixtures/b01_net.v");
+
+#[test]
+fn benchmark_fixture_embeds_bit_identically_across_servers() {
+    let ckpt = demo_checkpoint();
+
+    // Two fully independent server processes-worth of state (separate
+    // embedder instances, separate caches) over the same checkpoint.
+    let run = || {
+        let server = Server::start("127.0.0.1:0", embedder_from(&ckpt), unbatched_config())
+            .expect("start server");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        client.embed_raw(B01_NET).expect("embed fixture")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "fixture embedding differs between independent servers"
+    );
+
+    // And both match a direct in-process forward pass on the parsed
+    // fixture — serving adds no numeric drift.
+    let direct = embedder_from(&ckpt);
+    let netlist = parse_verilog(B01_NET).expect("parse fixture");
+    let emb = direct.embed(&netlist).expect("direct embed");
+    assert_eq!(first, embedding_payload(&emb));
+}
+
+#[test]
+fn parsed_and_programmatic_circuits_embed_identically() {
+    // A circuit arriving as Verilog text must produce the same bytes as
+    // its programmatically-built twin fed straight to the embedder: text
+    // ingestion is not a second, subtly different pipeline.
+    let ckpt = demo_checkpoint();
+    let server = Server::start("127.0.0.1:0", embedder_from(&ckpt), unbatched_config())
+        .expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let direct = embedder_from(&ckpt);
+    for seed in 0..3u64 {
+        let nl = moss_datagen::random_netlist(700 + seed, 35);
+        let served = client.embed_raw(&write_verilog(&nl)).expect("embed");
+        let want = embedding_payload(&direct.embed(&nl).expect("direct embed"));
+        assert_eq!(served, want, "seed {seed}: text path diverged");
     }
 }

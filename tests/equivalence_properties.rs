@@ -193,14 +193,22 @@ fn verilog_round_trip_preserves_behaviour() {
         let synth = synthesize(&module, &SynthOptions::default()).expect("synthesizes");
         let text = moss_netlist::write_verilog(&synth.netlist);
         let parsed = moss_netlist::parse_verilog(&text).expect("parses back");
+        // Node-exact: same PI/PO/cell counts, no placeholder leak, and the
+        // same canonical hash (the serve-cache and label-store key).
         assert_eq!(parsed.cell_count(), synth.netlist.cell_count());
         assert_eq!(parsed.dff_count(), synth.netlist.dff_count());
+        assert_eq!(
+            parsed.primary_inputs().len(),
+            synth.netlist.primary_inputs().len()
+        );
+        assert_eq!(
+            moss_netlist::canonical_hash(&parsed),
+            moss_netlist::canonical_hash(&synth.netlist)
+        );
 
         let mut sim_a = GateSim::new(&synth.netlist).expect("valid");
         let mut sim_b = GateSim::new(&parsed).expect("valid");
         let ins_a = synth.netlist.primary_inputs();
-        // The parser appends one unused placeholder input; positional
-        // correspondence holds for the real ports.
         let ins_b = parsed.primary_inputs();
         let outs_a = synth.netlist.primary_outputs();
         let outs_b = parsed.primary_outputs();

@@ -1,0 +1,107 @@
+//! End-to-end ingestion: the committed b01-class benchmark fixture flows
+//! text → typed parse → store-keyed labeling, and the whole pipeline is
+//! bit-identical between a cold run and a warm (store-served) run — the
+//! same guarantee the synthesis pipeline has, now for netlists that
+//! arrive as files.
+
+use moss::{bindings_from_design, LabeledCircuit, SampleOptions};
+use moss_netlist::{canonical_hash, parse_verilog_design, CellLibrary};
+use moss_store::LabelStore;
+
+const B01_NET: &str = include_str!("../crates/netlist/tests/fixtures/b01_net.v");
+
+fn quick_options() -> SampleOptions {
+    SampleOptions {
+        sim_cycles: 512,
+        ..SampleOptions::default()
+    }
+}
+
+/// A collision-free temp store rooted under the target dir.
+fn temp_store(tag: &str) -> LabelStore {
+    let dir = std::env::temp_dir().join(format!("moss-ingestion-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    LabelStore::open(&dir).expect("open temp store")
+}
+
+#[test]
+fn fixture_labels_are_bit_identical_cold_vs_warm() {
+    let lib = CellLibrary::default();
+    let options = quick_options();
+    let store = temp_store("coldwarm");
+
+    let cold = LabeledCircuit::from_verilog(B01_NET, &lib, &options, Some(&store))
+        .expect("cold ingestion");
+    assert!(!cold.cache_hit, "first run must compute");
+    assert_eq!(cold.netlist.name(), "b01_net");
+    assert_eq!(cold.bindings.len(), 5, "b01 has five state flops");
+
+    let warm = LabeledCircuit::from_verilog(B01_NET, &lib, &options, Some(&store))
+        .expect("warm ingestion");
+    assert!(warm.cache_hit, "second run must be served from the store");
+    assert_eq!(cold.key, warm.key, "store key must be stable");
+
+    // Bit-identical labels, not approximately-equal ones: the store
+    // round-trip and the recompute path may not disagree in any bit.
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&cold.labels.toggle), bits(&warm.labels.toggle));
+    assert_eq!(
+        bits(&cold.labels.probability),
+        bits(&warm.labels.probability)
+    );
+    assert_eq!(bits(&cold.labels.dynamic_nw), bits(&warm.labels.dynamic_nw));
+    assert_eq!(cold.labels.arrival_ns.len(), 5);
+    for (a, b) in cold.labels.arrival_ns.iter().zip(&warm.labels.arrival_ns) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+    assert_eq!(
+        cold.labels.total_power_nw.to_bits(),
+        warm.labels.total_power_nw.to_bits()
+    );
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn fixture_reset_metadata_reaches_the_bindings() {
+    let design = parse_verilog_design(B01_NET).expect("parse fixture");
+    assert_eq!(design.dffs.len(), 5);
+    let bindings = bindings_from_design(&design);
+    for (dff, b) in design.dffs.iter().zip(&bindings) {
+        assert_eq!(dff.clock.as_deref(), Some("clock"));
+        assert!(!b.reset, "active-low RN flops clear to 0");
+        assert_eq!(
+            design.netlist.node(b.dff).name(),
+            b.register_name,
+            "register name must be the DFF instance name"
+        );
+    }
+}
+
+#[test]
+fn reingesting_the_written_fixture_hits_the_same_store_entry() {
+    // write_verilog(parse_verilog(fixture)) is a different *text* but the
+    // same circuit: it must land on the same store key and be served warm.
+    let lib = CellLibrary::default();
+    let options = quick_options();
+    let store = temp_store("rewrite");
+
+    let original =
+        LabeledCircuit::from_verilog(B01_NET, &lib, &options, Some(&store)).expect("ingest");
+    let rewritten = moss_netlist::write_verilog(&original.netlist);
+    assert_ne!(rewritten, B01_NET, "the writer normalizes formatting");
+
+    let again = LabeledCircuit::from_verilog(&rewritten, &lib, &options, Some(&store))
+        .expect("re-ingest written form");
+    assert!(again.cache_hit, "identical circuit must hit the store");
+    assert_eq!(original.key, again.key);
+    assert_eq!(
+        canonical_hash(&original.netlist),
+        canonical_hash(&again.netlist)
+    );
+    assert_eq!(
+        original.labels.total_power_nw.to_bits(),
+        again.labels.total_power_nw.to_bits()
+    );
+    let _ = std::fs::remove_dir_all(store.root());
+}

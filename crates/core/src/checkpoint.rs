@@ -372,6 +372,44 @@ pub fn load_checkpoint_file<P: AsRef<Path>>(path: P) -> io::Result<(MossConfig, 
     load_checkpoint(io::BufReader::new(file))
 }
 
+/// Rejects a parameter store carrying any non-finite scalar. A checkpoint
+/// whose CRC verifies can still hold NaN/Inf weights — a training run that
+/// diverged before saving, or a tool that wrote garbage with a correct
+/// footer — and serving such a model produces confidently wrong
+/// embeddings rather than a crash. Callers that are about to *serve* a
+/// checkpoint should gate on this.
+///
+/// # Errors
+///
+/// `InvalidData` naming the first offending parameter.
+pub fn validate_params_finite(store: &ParamStore) -> io::Result<()> {
+    for (_, name, tensor) in store.iter() {
+        if let Some(bad) = tensor.data().iter().find(|v| !v.is_finite()) {
+            return Err(invalid(&format!(
+                "parameter '{name}' holds a non-finite value {bad}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`load_checkpoint_file`] plus weight validation: the CRC footer and
+/// structural decode run as usual, then every parameter is checked finite
+/// via [`validate_params_finite`]. This is the loader the serving layer's
+/// hot-reload path uses — a checkpoint that passes here is safe to swap
+/// into a live server.
+///
+/// # Errors
+///
+/// As [`load_checkpoint_file`], plus `InvalidData` for non-finite weights.
+pub fn load_checkpoint_file_validated<P: AsRef<Path>>(
+    path: P,
+) -> io::Result<(MossConfig, ParamStore)> {
+    let (config, store) = load_checkpoint_file(path)?;
+    validate_params_finite(&store)?;
+    Ok((config, store))
+}
+
 /// Reads a training checkpoint written by [`save_training_checkpoint_file`].
 ///
 /// # Errors
@@ -595,6 +633,65 @@ mod tests {
         expect_invalid(load_checkpoint(payload.as_slice()), "flipped payload");
         // The pristine buffer still loads.
         assert!(load_checkpoint(buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn validated_load_rejects_nan_weights_but_accepts_clean_ones() {
+        let path = temp_ckpt_path("nanweights");
+        let mut store = ParamStore::new();
+        let config = MossConfig::small(8, MossVariant::Full);
+        let _ = MossModel::new(config, &mut store, 1);
+
+        // A pristine checkpoint passes the validated loader.
+        save_checkpoint_file(&path, &config, &store).unwrap();
+        assert!(load_checkpoint_file_validated(&path).is_ok());
+
+        // Poison one scalar of one parameter; the CRC footer is recomputed
+        // at save time, so only the finite-weight gate can catch this.
+        let (id, name, rows, cols, mut data) = {
+            let (id, name, tensor) = store.iter().next().expect("at least one parameter");
+            let (rows, cols) = tensor.shape();
+            (id, name.to_string(), rows, cols, tensor.data().to_vec())
+        };
+        let mid = data.len() / 2;
+        data[mid] = f32::NAN;
+        store.set(id, moss_tensor::Tensor::from_vec(data, rows, cols));
+        save_checkpoint_file(&path, &config, &store).unwrap();
+
+        // The plain loader still accepts it (CRC is intact)…
+        assert!(load_checkpoint_file(&path).is_ok());
+        // …but the validated loader names the offending parameter.
+        let e = load_checkpoint_file_validated(&path).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            e.to_string().contains(&name),
+            "error must name the parameter: {e}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn validated_load_rejects_corrupt_and_truncated_files() {
+        let path = temp_ckpt_path("validated_corrupt");
+        let (_, _, buf) = small_checkpoint();
+
+        // Truncated file.
+        std::fs::write(&path, &buf[..buf.len() / 2]).unwrap();
+        let e = load_checkpoint_file_validated(&path).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+
+        // Flipped payload byte (CRC mismatch).
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        let e = load_checkpoint_file_validated(&path).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+
+        // The pristine bytes pass.
+        std::fs::write(&path, &buf).unwrap();
+        assert!(load_checkpoint_file_validated(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

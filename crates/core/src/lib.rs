@@ -66,8 +66,9 @@ mod sample;
 mod trainer;
 
 pub use checkpoint::{
-    load_checkpoint, load_checkpoint_file, load_training_checkpoint, load_training_checkpoint_file,
-    save_checkpoint, save_checkpoint_file, save_training_checkpoint, save_training_checkpoint_file,
+    load_checkpoint, load_checkpoint_file, load_checkpoint_file_validated,
+    load_training_checkpoint, load_training_checkpoint_file, save_checkpoint, save_checkpoint_file,
+    save_training_checkpoint, save_training_checkpoint_file, validate_params_finite,
 };
 pub use deepseq2::{DeepSeq2, DeepSeq2Config, DeepSeq2Losses};
 pub use embedder::NetlistEmbedder;

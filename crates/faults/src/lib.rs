@@ -26,6 +26,7 @@
 //! | `nan`     | a training step's losses become NaN                   |
 //! | `serve`   | a serving request's batch-forward stage (moss-serve)  |
 //! | `store`   | a label-store record write is corrupted (moss-store)  |
+//! | `net`     | a serve connection's reply path (partial write, drop, stall) |
 //! | `oom-cap` | circuits above `rate` cells are rejected (a cell cap) |
 //!
 //! `rate` is a probability in `[0, 1]` (for `oom-cap` it is a cell count).
@@ -73,11 +74,15 @@ pub enum Site {
     /// corrupted (truncated or bit-flipped), rehearsing bit rot and short
     /// writes the filesystem survived.
     Store,
+    /// A serve connection's reply path (moss-serve) — the frame is
+    /// partially written, the socket is dropped mid-frame, or the reply
+    /// stalls, rehearsing the network misbehaving under a live client.
+    Net,
 }
 
 impl Site {
     /// All probabilistic sites (the `oom-cap` threshold site is separate).
-    pub const ALL: [Site; 7] = [
+    pub const ALL: [Site; 8] = [
         Site::Synth,
         Site::Sim,
         Site::Sta,
@@ -85,6 +90,7 @@ impl Site {
         Site::Nan,
         Site::Serve,
         Site::Store,
+        Site::Net,
     ];
 
     /// The site's spelling in `MOSS_FAULTS` and in error messages.
@@ -97,6 +103,7 @@ impl Site {
             Site::Nan => "nan",
             Site::Serve => "serve",
             Site::Store => "store",
+            Site::Net => "net",
         }
     }
 
@@ -109,6 +116,7 @@ impl Site {
             Site::Nan => 4,
             Site::Serve => 5,
             Site::Store => 6,
+            Site::Net => 7,
         }
     }
 
@@ -121,6 +129,7 @@ impl Site {
             Site::Nan => "faults.injected.nan",
             Site::Serve => "faults.injected.serve",
             Site::Store => "faults.injected.store",
+            Site::Net => "faults.injected.net",
         }
     }
 }
@@ -128,8 +137,8 @@ impl Site {
 /// A parsed `MOSS_FAULTS` specification.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultConfig {
-    rates: [f64; 7],
-    seeds: [u64; 7],
+    rates: [f64; 8],
+    seeds: [u64; 8],
     oom_cap: Option<u64>,
 }
 
@@ -142,7 +151,7 @@ impl FaultConfig {
     /// unparsable number, or a probability outside `[0, 1]`.
     pub fn parse(spec: &str) -> Result<FaultConfig, String> {
         let mut config = FaultConfig {
-            seeds: [DEFAULT_SEED; 7],
+            seeds: [DEFAULT_SEED; 8],
             ..FaultConfig::default()
         };
         for entry in spec.split(',') {
@@ -335,6 +344,16 @@ mod tests {
         assert_eq!(c.seeds[Site::Store.index()], 9);
         override_for_tests(Some("store:1.0"));
         assert!(fire(Site::Store, 0x1234));
+        override_for_tests(None);
+    }
+
+    #[test]
+    fn net_site_parses_and_fires() {
+        let c = FaultConfig::parse("net:1.0:11").unwrap();
+        assert_eq!(c.rates[Site::Net.index()], 1.0);
+        assert_eq!(c.seeds[Site::Net.index()], 11);
+        override_for_tests(Some("net:1.0"));
+        assert!(fire(Site::Net, key("some-connection")));
         override_for_tests(None);
     }
 

@@ -12,13 +12,18 @@
 //! is started on an ephemeral port, so the binary doubles as a
 //! self-contained smoke test: it exits nonzero if any request draws a
 //! protocol error or the run records zero throughput.
+//!
+//! Clients run through [`RetryingClient`]: connects are bounded, reads
+//! have deadlines, and `Overload` sheds are retried with jittered
+//! backoff instead of failing the bench — the shed count and rate are
+//! reported as extra columns on the `serve/ns_per_request` row.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use moss_serve::{Client, Reply, ServeConfig, Server};
+use moss_serve::{Reply, RetryPolicy, RetryingClient, ServeConfig, Server};
 
 struct Options {
     clients: usize,
@@ -82,6 +87,20 @@ fn json_result(name: &str, iters: u64, mean_ns: f64, extra: &str) -> String {
     )
 }
 
+/// The bench retry posture: fast backoff (this is a latency bench, not a
+/// fleet), bounded connects, and a read deadline so a stalled server
+/// fails the run instead of hanging it.
+fn bench_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(50),
+        connect_timeout: Duration::from_secs(2),
+        request_timeout: Some(Duration::from_secs(5)),
+        jitter_seed: seed,
+    }
+}
+
 fn main() -> ExitCode {
     let Some(opt) = parse_options() else {
         return usage();
@@ -134,22 +153,19 @@ fn main() -> ExitCode {
     let corpus = Arc::new(corpus);
 
     let errors = Arc::new(AtomicU64::new(0));
+    let sheds = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let mut handles = Vec::new();
     for c in 0..opt.clients {
         let addr = addr.clone();
         let corpus = Arc::clone(&corpus);
         let errors = Arc::clone(&errors);
+        let sheds = Arc::clone(&sheds);
+        let retries = Arc::clone(&retries);
         let requests = opt.requests;
         handles.push(std::thread::spawn(move || -> Vec<u64> {
-            let mut client = match Client::connect(&addr) {
-                Ok(cl) => cl,
-                Err(e) => {
-                    eprintln!("loadgen: client {c} cannot connect: {e}");
-                    errors.fetch_add(requests as u64, Ordering::Relaxed);
-                    return Vec::new();
-                }
-            };
+            let mut client = RetryingClient::new(&addr, bench_policy(c as u64));
             // One untimed warmup request so cold-start work (first
             // forward pass, cache fill) doesn't dominate the
             // percentiles of a short run.
@@ -166,6 +182,9 @@ fn main() -> ExitCode {
                         lat.push(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
                     }
                     Ok(Reply::Error { code, message }) => {
+                        // Retries exhausted (an Overload that never
+                        // cleared) or a genuine typed error — both fail
+                        // the bench.
                         eprintln!("loadgen: client {c} got error {code}: {message}");
                         errors.fetch_add(1, Ordering::Relaxed);
                     }
@@ -175,6 +194,8 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            sheds.fetch_add(client.sheds(), Ordering::Relaxed);
+            retries.fetch_add(client.retries(), Ordering::Relaxed);
             lat
         }));
     }
@@ -185,6 +206,8 @@ fn main() -> ExitCode {
     let wall = start.elapsed();
 
     let errors = errors.load(Ordering::Relaxed);
+    let sheds = sheds.load(Ordering::Relaxed);
+    let retries = retries.load(Ordering::Relaxed);
     if latencies.is_empty() {
         eprintln!("loadgen: no successful requests");
         return ExitCode::FAILURE;
@@ -195,12 +218,16 @@ fn main() -> ExitCode {
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
     let qps = total as f64 / wall.as_secs_f64();
+    // Sheds per *attempted* request: each shed was one extra server
+    // round-trip absorbed by backoff.
+    let shed_rate = sheds as f64 / (total + sheds).max(1) as f64;
 
     if let Some(server) = &local {
         eprintln!("loadgen: server stats {}", server.stats_json());
     }
     eprintln!(
-        "loadgen: {total} requests, {} clients, mean {:.1} us, p50 {:.1} us, p99 {:.1} us, {qps:.1} QPS, {errors} errors",
+        "loadgen: {total} requests, {} clients, mean {:.1} us, p50 {:.1} us, p99 {:.1} us, \
+         {qps:.1} QPS, {errors} errors, {sheds} sheds (rate {shed_rate:.4}), {retries} reconnects",
         opt.clients,
         mean_ns / 1000.0,
         p50 as f64 / 1000.0,
@@ -220,7 +247,7 @@ fn main() -> ExitCode {
         "serve/ns_per_request",
         total,
         1e9 / qps,
-        &format!(", \"qps\": {qps:.1}"),
+        &format!(", \"qps\": {qps:.1}, \"sheds\": {sheds}, \"shed_rate\": {shed_rate:.4}"),
     ));
     json.push_str("\n  ]\n}\n");
     if let Err(e) = std::fs::write(&opt.out, json) {

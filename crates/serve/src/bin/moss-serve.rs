@@ -20,8 +20,14 @@ fn usage() -> ExitCode {
          \x20 --demo              serve deterministic demo weights instead\n\
          \x20 --listen ADDR       bind address (default 127.0.0.1:7744)\n\
          \n\
+         protocol ops: EMBED, STATS, HEALTH (liveness JSON), RELOAD (validated\n\
+         checkpoint hot-swap; empty payload reloads MOSS_SERVE_CKPT, which\n\
+         defaults to the --checkpoint path)\n\
+         \n\
          tuning (environment): MOSS_SERVE_BATCH_MS, MOSS_SERVE_MAX_BATCH,\n\
-         MOSS_SERVE_CACHE_CAP, MOSS_SERVE_QUEUE_CAP, MOSS_SERVE_READ_TIMEOUT_MS"
+         MOSS_SERVE_CACHE_CAP, MOSS_SERVE_QUEUE_CAP, MOSS_SERVE_READ_TIMEOUT_MS,\n\
+         MOSS_SERVE_CKPT, MOSS_SERVE_WATCH_MS (mtime-poll hot-reload, 0 = off),\n\
+         MOSS_SERVE_RESPAWN_BUDGET"
     );
     ExitCode::from(2)
 }
@@ -46,9 +52,13 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut ckpt_for_reload: Option<String> = None;
     let embedder = match (checkpoint, demo) {
         (Some(path), false) => match NetlistEmbedder::from_checkpoint_file(&path) {
-            Ok(e) => e,
+            Ok(e) => {
+                ckpt_for_reload = Some(path);
+                e
+            }
             Err(e) => {
                 eprintln!("moss-serve: cannot load {path}: {e}");
                 return ExitCode::FAILURE;
@@ -77,7 +87,13 @@ fn main() -> ExitCode {
     };
 
     let _obs = moss_obs::session();
-    let server = match Server::start(&listen, embedder, ServeConfig::from_env()) {
+    let mut config = ServeConfig::from_env();
+    // An empty-payload RELOAD (and the mtime watcher) should "reload the
+    // checkpoint I was started on" unless MOSS_SERVE_CKPT says otherwise.
+    if config.ckpt_path.is_none() {
+        config.ckpt_path = ckpt_for_reload.map(std::path::PathBuf::from);
+    }
+    let server = match Server::start(&listen, embedder, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("moss-serve: cannot bind {listen}: {e}");

@@ -11,6 +11,18 @@
 //! guarantee (pinned by the integration tests) that batched, cached,
 //! and direct-forward embeddings are **bit-identical**.
 //!
+//! The server is **self-healing**: checkpoints hot-reload through a
+//! validated `RELOAD` op (or an `MOSS_SERVE_CKPT` mtime watcher) with
+//! atomic generation swap and rollback-on-rejection, panicked core
+//! threads are respawned under a bounded budget, and a `HEALTH` op
+//! exposes uptime/generation/respawn/queue-depth. On the client side,
+//! [`RetryingClient`] + [`RetryPolicy`] add bounded connects, read
+//! deadlines, and jittered-backoff retries for connect failures, EOF,
+//! and `Overload` sheds — never for `Parse`/`Graph` rejections. The
+//! whole stack is soak-tested by `cargo xtask chaos-check` under
+//! randomized `MOSS_FAULTS` schedules (including the `net` site's
+//! partial writes, disconnects, and stalls).
+//!
 //! ```no_run
 //! use moss_serve::{Client, Reply, ServeConfig, Server};
 //!
@@ -33,10 +45,11 @@
 mod cache;
 mod client;
 pub mod protocol;
+mod reload;
 mod server;
 
-pub use client::{Client, Reply};
-pub use server::{ServeConfig, ServeStats, Server};
+pub use client::{Client, ReloadOutcome, Reply, RetryPolicy, RetryingClient};
+pub use server::{ServeConfig, ServeStats, Server, PANIC_MARKER};
 
 use std::io;
 use std::path::Path;

@@ -10,10 +10,13 @@
 //!
 //! where `len` counts the payload only and is capped at [`MAX_FRAME`].
 //! Client→server opcodes: [`OP_EMBED`] (payload = structural Verilog,
-//! UTF-8) and [`OP_STATS`] (empty payload). Server→client:
-//! [`OP_EMBEDDING`] (`u32 LE` dimension then that many `f32 LE` values),
-//! [`OP_ERROR`] (`u16 LE` [`ErrorCode`] then a UTF-8 message), and
-//! [`OP_STATS_REPLY`] (UTF-8 JSON).
+//! UTF-8), [`OP_STATS`] (empty payload), [`OP_RELOAD`] (UTF-8 checkpoint
+//! path, or empty for the configured watch path), and [`OP_HEALTH`]
+//! (empty payload). Server→client: [`OP_EMBEDDING`] (`u32 LE` dimension
+//! then that many `f32 LE` values), [`OP_ERROR`] (`u16 LE` [`ErrorCode`]
+//! then a UTF-8 message), [`OP_STATS_REPLY`] (UTF-8 JSON),
+//! [`OP_RELOAD_REPLY`] (`u64 LE` new generation), and
+//! [`OP_HEALTH_REPLY`] (UTF-8 JSON).
 //!
 //! Malformed input never panics the reader: a truncated frame or transport
 //! error surfaces as [`FrameReadError::Io`], an absurd length prefix as
@@ -30,12 +33,25 @@ pub const MAX_FRAME: usize = 8 * 1024 * 1024;
 pub const OP_EMBED: u8 = 0x01;
 /// Client→server: return server statistics.
 pub const OP_STATS: u8 = 0x02;
+/// Client→server: hot-reload the serving checkpoint. The payload is a
+/// UTF-8 checkpoint path, or empty to reload the server's configured
+/// watch path (`MOSS_SERVE_CKPT`). The swap is validated first; a bad
+/// checkpoint is rejected with [`ErrorCode::Reload`] and the previous
+/// generation keeps serving.
+pub const OP_RELOAD: u8 = 0x03;
+/// Client→server: return liveness/health (empty payload).
+pub const OP_HEALTH: u8 = 0x04;
 /// Server→client: an embedding (`u32 LE` dim + dim × `f32 LE`).
 pub const OP_EMBEDDING: u8 = 0x81;
 /// Server→client: a typed error (`u16 LE` code + UTF-8 message).
 pub const OP_ERROR: u8 = 0x82;
 /// Server→client: statistics as UTF-8 JSON.
 pub const OP_STATS_REPLY: u8 = 0x83;
+/// Server→client: reload succeeded (`u64 LE` new generation number).
+pub const OP_RELOAD_REPLY: u8 = 0x84;
+/// Server→client: health snapshot as UTF-8 JSON (uptime, generation,
+/// reload and respawn counters, queue depth).
+pub const OP_HEALTH_REPLY: u8 = 0x85;
 
 /// Typed error categories carried in [`OP_ERROR`] frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +72,10 @@ pub enum ErrorCode {
     Overload = 5,
     /// The server failed internally (e.g. a forward pass panicked).
     Internal = 6,
+    /// A checkpoint hot-reload was rejected (corrupt, truncated,
+    /// shape-mismatched, or non-finite checkpoint; or the file could not
+    /// be read). The previous generation is still serving.
+    Reload = 7,
 }
 
 impl ErrorCode {
@@ -161,6 +181,17 @@ pub fn embedding_payload(embedding: &[f32]) -> Vec<u8> {
     out
 }
 
+/// Encodes an [`OP_RELOAD_REPLY`] payload.
+pub fn reload_payload(generation: u64) -> Vec<u8> {
+    generation.to_le_bytes().to_vec()
+}
+
+/// Decodes an [`OP_RELOAD_REPLY`] payload; `None` on a wrong length.
+pub fn decode_reload(payload: &[u8]) -> Option<u64> {
+    let bytes: [u8; 8] = payload.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
 /// Decodes an [`OP_EMBEDDING`] payload; `None` if the dimension header
 /// disagrees with the payload length.
 pub fn decode_embedding(payload: &[u8]) -> Option<Vec<f32>> {
@@ -228,6 +259,14 @@ mod tests {
         assert_eq!(decode_embedding(&p).unwrap(), emb);
         assert_eq!(decode_embedding(&p[..p.len() - 1]), None);
         assert_eq!(decode_embedding(&[]), None);
+    }
+
+    #[test]
+    fn reload_payload_round_trips() {
+        assert_eq!(decode_reload(&reload_payload(0)), Some(0));
+        assert_eq!(decode_reload(&reload_payload(u64::MAX)), Some(u64::MAX));
+        assert_eq!(decode_reload(&[1, 2, 3]), None);
+        assert_eq!(decode_reload(&[]), None);
     }
 
     #[test]

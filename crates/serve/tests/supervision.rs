@@ -1,0 +1,123 @@
+//! Supervision tests: a panicking scheduler must be respawned (within
+//! its budget) with service restored, and once the budget is spent the
+//! server must degrade to typed errors — never a wedge.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use moss::NetlistEmbedder;
+use moss_netlist::write_verilog;
+use moss_serve::{write_demo_checkpoint, Client, Reply, ServeConfig, Server, PANIC_MARKER};
+
+static NEXT_CKPT: AtomicU32 = AtomicU32::new(0);
+
+fn demo_checkpoint() -> PathBuf {
+    let n = NEXT_CKPT.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "moss-supervision-test-{}-{n}.mossckp",
+        std::process::id()
+    ));
+    write_demo_checkpoint(&path).expect("write demo checkpoint");
+    path
+}
+
+fn field_u64(json: &str, field: &str) -> u64 {
+    json.split(&format!("\"{field}\": "))
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("field {field} missing from: {json}"))
+}
+
+/// Sends the raw panic-marker payload as an EMBED and returns the typed
+/// reply (the marker is not valid Verilog, so it can only ever reach the
+/// scheduler through the test hook).
+fn send_marker(client: &mut Client) -> Reply {
+    let text = std::str::from_utf8(PANIC_MARKER).expect("marker is ASCII");
+    client.embed(text).expect("marker roundtrip")
+}
+
+#[test]
+fn scheduler_panics_are_respawned_then_budget_exhaustion_degrades_typed() {
+    let ckpt = demo_checkpoint();
+    let embedder = NetlistEmbedder::from_checkpoint_file(&ckpt).expect("load checkpoint");
+    let config = ServeConfig {
+        batch_window: Duration::from_millis(0),
+        max_batch: 1,
+        // No cache: every embed must traverse the scheduler, so success
+        // genuinely proves the thread is alive (a cache hit would not).
+        cache_cap: 0,
+        respawn_budget: 1,
+        panic_marker: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", embedder, config).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let text = write_verilog(&moss_datagen::random_netlist(42, 25));
+
+    // Baseline: the server works.
+    match client.embed(&text).expect("baseline embed") {
+        Reply::Embedding(_) => {}
+        Reply::Error { code, message } => panic!("baseline failed {code}: {message}"),
+    }
+
+    // First panic: the in-flight request fails typed, the supervisor
+    // respawns the scheduler, and service resumes.
+    match send_marker(&mut client) {
+        Reply::Error { code, message } => {
+            assert_eq!(code, 6, "a dropped request is ErrorCode::Internal");
+            assert!(message.contains("scheduler dropped"), "{message}");
+        }
+        Reply::Embedding(_) => panic!("the marker must never embed"),
+    }
+    // The respawn may race the next request; poll briefly.
+    let mut recovered = false;
+    for _ in 0..100 {
+        match client.embed(&text).expect("post-panic embed") {
+            Reply::Embedding(_) => {
+                recovered = true;
+                break;
+            }
+            Reply::Error { .. } => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(recovered, "scheduler was not respawned within its budget");
+    let health = client.health().expect("health");
+    assert_eq!(field_u64(&health, "respawns"), 1);
+    assert_eq!(field_u64(&health, "respawn_budget"), 1);
+
+    // Second panic exhausts the budget: the scheduler stays down, its
+    // queue disconnects, and embeds fail *typed* — Internal, not a hang,
+    // not a dropped connection.
+    match send_marker(&mut client) {
+        Reply::Error { code, .. } => assert_eq!(code, 6),
+        Reply::Embedding(_) => panic!("the marker must never embed"),
+    }
+    // Give the supervisor a moment to observe the second panic and give
+    // up (dropping the queue receiver).
+    let mut degraded = None;
+    for _ in 0..100 {
+        match client.embed(&text).expect("post-budget embed") {
+            Reply::Error { code, message } => {
+                degraded = Some((code, message));
+                break;
+            }
+            // A respawn beyond the budget would keep serving — that is
+            // the bug this test exists to catch.
+            Reply::Embedding(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let (code, message) = degraded.expect("scheduler kept serving past its respawn budget");
+    assert_eq!(code, 6, "degraded mode must be ErrorCode::Internal");
+    assert!(
+        message.contains("scheduler"),
+        "the error should name the dead component: {message}"
+    );
+
+    // Control-plane ops survive the dead scheduler.
+    let health = client.health().expect("health with dead scheduler");
+    assert_eq!(field_u64(&health, "respawns"), 1, "budget respawns only");
+    let stats = client.stats().expect("stats with dead scheduler");
+    assert!(field_u64(&stats, "errors") >= 2);
+}

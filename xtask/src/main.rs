@@ -33,6 +33,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("bench-check") => bench_check(&args[1..]),
         Some("fault-check") => fault_check(),
+        Some("chaos-check") => chaos_check(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
             usage();
@@ -54,6 +55,11 @@ fn usage() {
     eprintln!("                                       injection armed; fail unless it");
     eprintln!("                                       degrades gracefully (exit 0, skips");
     eprintln!("                                       recorded, no NaN in the table)");
+    eprintln!("  chaos-check [--quick] [--schedules N]  soak moss-serve under randomized");
+    eprintln!("              [--seed N]                 MOSS_FAULTS schedules + concurrent");
+    eprintln!("                                       hot-reloads; fail on any panic,");
+    eprintln!("                                       wrong bytes, accepted-corrupt");
+    eprintln!("                                       checkpoint, or blown error budget");
     eprintln!("(experiment binaries live in crates/bench)");
 }
 
@@ -241,6 +247,198 @@ fn fault_check() -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// The chaos gate: build the soak harness once, then run it under a
+/// battery of randomized-but-reproducible `MOSS_FAULTS` schedules
+/// (serve/io/net/store sites at varied rates and seeds) crossed with
+/// varied server tuning (tiny and large queues, batching on and off).
+/// The harness checks the hard invariants itself (bit-identical
+/// successes, corrupt checkpoints rejected, clean drain, error budget);
+/// this gate additionally treats *any* "panicked" in the output as
+/// failure — a respawned thread during a soak means an organic panic
+/// slipped in, which the harness would also flag at drain, but belt and
+/// suspenders are the point of a chaos gate. Finally it proves the
+/// bench client survives a lossy network: one `loadgen --quick` run
+/// under a `net` fault schedule must still exit 0.
+fn chaos_check(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut schedules: Option<usize> = None;
+    let mut seed: u64 = 0xC4A0_5EED;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--schedules" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => schedules = Some(n),
+                None => {
+                    eprintln!("xtask chaos-check: --schedules needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("xtask chaos-check: --seed needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask chaos-check: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let schedules = schedules.unwrap_or(if quick { 8 } else { 25 });
+    let root = workspace_root();
+    let scratch = root.join("target").join("chaos-check");
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!(
+            "xtask chaos-check: cannot create {}: {e}",
+            scratch.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("# chaos-check: building the soak harness…");
+    let status = Command::new(env!("CARGO"))
+        .args([
+            "build",
+            "--release",
+            "-p",
+            "moss-serve",
+            "--bin",
+            "chaos",
+            "--bin",
+            "loadgen",
+        ])
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("xtask chaos-check: build failed: {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask chaos-check: cannot spawn cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let chaos_bin = root.join("target").join("release").join("chaos");
+    let loadgen_bin = root.join("target").join("release").join("loadgen");
+
+    // xorshift64: deterministic schedule generation from --seed.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    for i in 0..schedules {
+        // Each fault site joins the schedule with ~55% probability; the
+        // serve site (deterministic per-circuit request poisoning) gets
+        // a lower rate ceiling so the corpus is never fully poisoned.
+        let mut spec = Vec::new();
+        for site in ["serve", "io", "net", "store"] {
+            if next() % 100 < 55 {
+                let ceiling = if site == "serve" { 0.20 } else { 0.25 };
+                let rate = 0.02 + (next() % 1000) as f64 / 1000.0 * (ceiling - 0.02);
+                let site_seed = next() % 10_000;
+                spec.push(format!("{site}:{rate:.3}:{site_seed}"));
+            }
+        }
+        if spec.is_empty() {
+            // A chaos schedule with no chaos proves nothing.
+            spec.push(format!("net:0.100:{}", next() % 10_000));
+        }
+        let faults = spec.join(",");
+        let queue_cap = ["2", "4", "64", "256"][(next() % 4) as usize];
+        let batch_ms = ["0", "1", "2", "8"][(next() % 4) as usize];
+        let max_batch = ["1", "4", "16"][(next() % 3) as usize];
+        eprintln!(
+            "# chaos-check: schedule {}/{schedules}: MOSS_FAULTS={faults} \
+             queue_cap={queue_cap} batch_ms={batch_ms} max_batch={max_batch}",
+            i + 1
+        );
+        let mut cmd = Command::new(&chaos_bin);
+        if quick {
+            cmd.arg("--quick");
+        }
+        let output = cmd
+            .current_dir(&root)
+            .env("MOSS_FAULTS", &faults)
+            .env("MOSS_SERVE_QUEUE_CAP", queue_cap)
+            .env("MOSS_SERVE_BATCH_MS", batch_ms)
+            .env("MOSS_SERVE_MAX_BATCH", max_batch)
+            .output();
+        let output = match output {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!(
+                    "xtask chaos-check: cannot spawn {}: {e}",
+                    chaos_bin.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let panicked = stderr.contains("panicked") || stdout.contains("panicked");
+        if !output.status.success() || panicked {
+            eprint!("{stderr}");
+            print!("{stdout}");
+            if panicked {
+                eprintln!(
+                    "xtask chaos-check: FAIL — a thread panicked under schedule \
+                     MOSS_FAULTS={faults} (zero-panic invariant)"
+                );
+            } else {
+                eprintln!(
+                    "xtask chaos-check: FAIL — harness exited {} under schedule \
+                     MOSS_FAULTS={faults}",
+                    output.status
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // The bench client must shrug off a lossy network, not abort on it.
+    eprintln!("# chaos-check: loadgen --quick under MOSS_FAULTS=net:0.05:7…");
+    let output = Command::new(&loadgen_bin)
+        .arg("--quick")
+        .current_dir(&root)
+        .env("MOSS_FAULTS", "net:0.05:7")
+        .env("MOSS_BENCH_OUT", scratch.join("BENCH_serve.json"))
+        .output();
+    match output {
+        Ok(o) if o.status.success() => {}
+        Ok(o) => {
+            eprint!("{}", String::from_utf8_lossy(&o.stderr));
+            eprintln!(
+                "xtask chaos-check: FAIL — loadgen exited {} under net faults \
+                 (the resilient client must absorb them)",
+                o.status
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!(
+                "xtask chaos-check: cannot spawn {}: {e}",
+                loadgen_bin.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "xtask chaos-check: OK — {schedules} schedule(s), zero panics, zero wrong bytes, \
+         corrupt checkpoints rejected, clean drains"
+    );
+    ExitCode::SUCCESS
 }
 
 fn parse_tolerance(args: &[String]) -> Result<f64, String> {
